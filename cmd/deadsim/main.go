@@ -1,0 +1,180 @@
+// Command deadsim runs one workload on the simulated machine with a chosen
+// predictor configuration and prints the resulting statistics.
+//
+// Usage:
+//
+//	deadsim -workload cactusADM -tlb dpPred -llc cbPred -n 1000000
+//
+// Predictor choices: -tlb {none,dpPred,SHiP,AIP,oracle}, -llc
+// {none,cbPred,SHiP,AIP}. cbPred requires dpPred on the TLB side (it is
+// driven by dpPred's DOA-page notifications, §V-B).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/pred"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "deadsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workload  = flag.String("workload", "cactusADM", "Table II workload name (or 'list')")
+		traceFile = flag.String("trace", "", "replay a recorded trace file instead of a synthetic workload (looped; see cmd/tracedump)")
+		tlbPred   = flag.String("tlb", "none", "LLT predictor: none, dpPred, SHiP, AIP, oracle")
+		llcPred   = flag.String("llc", "none", "LLC predictor: none, cbPred, SHiP, AIP")
+		warmup    = flag.Uint64("warmup", 300_000, "warmup accesses before measurement")
+		measure   = flag.Uint64("n", 1_000_000, "measured accesses")
+		seed      = flag.Uint64("seed", 1, "workload and allocator seed")
+		lltSize   = flag.Int("llt", 1024, "LLT entries (multiple of 8)")
+		llcKB     = flag.Int("llckb", 2048, "LLC size in KB")
+		accuracy  = flag.Bool("accuracy", false, "grade predictions against mirror ground truth")
+		deadScan  = flag.Bool("characterize", false, "sample dead/DOA entry fractions (§IV)")
+	)
+	flag.Parse()
+
+	if *workload == "list" {
+		for _, w := range trace.Workloads() {
+			fmt.Printf("%-10s %-10s %3d MB  %s\n", w.Name, w.Suite, w.FootprintMB, w.Description)
+		}
+		return nil
+	}
+	var w trace.Workload
+	if *traceFile != "" {
+		w = trace.Workload{
+			Name:  "trace:" + *traceFile,
+			Suite: "recorded",
+			New: func(uint64) trace.Generator {
+				f, err := os.Open(*traceFile)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "deadsim:", err)
+					os.Exit(1)
+				}
+				rp, err := trace.NewReplayer(f, true)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "deadsim:", err)
+					os.Exit(1)
+				}
+				return rp
+			},
+		}
+	} else {
+		var err error
+		w, err = trace.ByName(*workload)
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.LLT.Entries = *lltSize
+	cfg.LLC.SizeKB = *llcKB
+	cfg.Seed = *seed
+
+	setup := exp.Setup{Name: "cli"}
+	switch strings.ToLower(*tlbPred) {
+	case "none":
+	case "dppred":
+		setup.TLB = func(s *sim.System) (pred.TLBPredictor, error) {
+			return core.NewDPPred(core.DefaultDPPredConfig(s.LLT().Entries()))
+		}
+	case "ship":
+		setup.TLB = func(s *sim.System) (pred.TLBPredictor, error) {
+			return pred.NewSHiPTLB(pred.DefaultSHiPTLBConfig(s.LLT().Entries()))
+		}
+	case "aip":
+		setup.TLB = func(s *sim.System) (pred.TLBPredictor, error) {
+			return pred.NewAIPTLB(pred.DefaultAIPTLBConfig(s.LLT().Entries()), s.LLT().Inner())
+		}
+	case "oracle":
+		setup.Oracle = true
+	default:
+		return fmt.Errorf("unknown TLB predictor %q", *tlbPred)
+	}
+	switch strings.ToLower(*llcPred) {
+	case "none":
+	case "cbpred":
+		if strings.ToLower(*tlbPred) != "dppred" {
+			return fmt.Errorf("cbPred requires -tlb dpPred (it is driven by dpPred's DOA pages)")
+		}
+		setup.LLC = func(s *sim.System) (pred.LLCPredictor, error) {
+			return core.NewCBPred(core.DefaultCBPredConfig(s.LLC().Capacity()))
+		}
+	case "ship":
+		setup.LLC = func(s *sim.System) (pred.LLCPredictor, error) {
+			return pred.NewSHiPLLC(pred.DefaultSHiPLLCConfig(s.LLC().Capacity()))
+		}
+	case "aip":
+		setup.LLC = func(s *sim.System) (pred.LLCPredictor, error) {
+			return pred.NewAIPLLC(pred.DefaultAIPLLCConfig(s.LLC().Capacity()), s.LLC())
+		}
+	default:
+		return fmt.Errorf("unknown LLC predictor %q", *llcPred)
+	}
+	setup.Config = func() sim.Config { return cfg }
+	setup.Instrument = exp.Instrumentation{Accuracy: *accuracy, Characterize: *deadScan}
+
+	r := exp.NewRunner(exp.Params{Warmup: *warmup, Measure: *measure, Seed: *seed, SampleEvery: 20_000})
+	res, err := r.Run(w, setup)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload      %s (%s, %d MB)\n", w.Name, w.Suite, w.FootprintMB)
+	fmt.Printf("predictors    tlb=%s llc=%s\n", *tlbPred, *llcPred)
+	fmt.Printf("instructions  %d\n", res.Instructions)
+	fmt.Printf("cycles        %.0f\n", res.Cycles)
+	fmt.Printf("IPC           %.4f\n", res.IPC)
+	fmt.Printf("LLT           lookups %d, misses %d, walks %d, bypasses %d, shadow fills %d\n",
+		res.LLTLookups, res.LLTMisses, res.Walks, res.LLTBypasses, res.ShadowFills)
+	fmt.Printf("LLT MPKI      %.3f\n", res.LLTMPKI)
+	fmt.Printf("LLC           lookups %d, misses %d, bypasses %d\n",
+		res.LLCLookups, res.LLCMisses, res.LLCBypasses)
+	fmt.Printf("LLC MPKI      %.3f\n", res.LLCMPKI)
+	fmt.Printf("page walker   %d PTE fetches, %d walk cycles, %d queue cycles\n",
+		res.PTAccesses, res.WalkCycles, res.WalkQueueCycles)
+	hitRate := func(lookups, misses uint64) float64 {
+		if lookups == 0 {
+			return 0
+		}
+		return 100 * float64(lookups-misses) / float64(lookups)
+	}
+	fmt.Printf("hierarchy     L1D %.1f%%, L2 %.1f%%, LLC %.1f%% hit rate\n",
+		hitRate(res.L1DLookups, res.L1DMisses),
+		hitRate(res.L2Lookups, res.L2Misses),
+		hitRate(res.LLCLookups, res.LLCMisses))
+	fmt.Printf("TLBs          L1D-TLB %.1f%%, L1I-TLB %.1f%%, LLT %.1f%% hit rate\n",
+		hitRate(res.DTLBLookups, res.DTLBMisses),
+		hitRate(res.ITLBLookups, res.ITLBMisses),
+		hitRate(res.LLTLookups, res.LLTMisses))
+	fmt.Printf("PWC hits      PDE %d, PDPTE %d, PML4E %d; full walks %d\n",
+		res.PWCHits[0], res.PWCHits[1], res.PWCHits[2], res.FullWalks)
+	if *accuracy {
+		fmt.Printf("LLT predictor accuracy %.1f%%, coverage %.1f%% (true DOAs %d)\n",
+			100*res.LLTAccuracy.Accuracy(), 100*res.LLTAccuracy.Coverage(), res.LLTAccuracy.TrueDOA)
+		fmt.Printf("LLC predictor accuracy %.1f%%, coverage %.1f%% (true DOAs %d)\n",
+			100*res.LLCAccuracy.Accuracy(), 100*res.LLCAccuracy.Coverage(), res.LLCAccuracy.TrueDOA)
+	}
+	if *deadScan {
+		fmt.Printf("LLT dead      %.1f%% of sampled entries dead, %.1f%% DOA; evictions %.1f%% DOA\n",
+			100*res.LLTDead.SampledDeadFrac(), 100*res.LLTDead.SampledDOAFrac(), 100*res.LLTDead.DOAFrac())
+		fmt.Printf("LLC dead      %.1f%% of sampled blocks dead, %.1f%% DOA; evictions %.1f%% DOA\n",
+			100*res.LLCDead.SampledDeadFrac(), 100*res.LLCDead.SampledDOAFrac(), 100*res.LLCDead.DOAFrac())
+		fmt.Printf("correlation   %.1f%% of LLC DOA blocks fall on DOA pages\n",
+			res.Correlation.Percent())
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// Command paperexp regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §5 for the experiment index) and prints them in
+// the paper's layout.
+//
+// Usage:
+//
+//	paperexp                 # full run (several minutes)
+//	paperexp -quick          # reduced trace lengths (~2 minutes)
+//	paperexp -only fig9,tab4 # a subset
+//	paperexp -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// experiment binds an ID to its generator function.
+type experiment struct {
+	id   string
+	name string
+	run  func(*exp.Runner) (exp.Series, error)
+}
+
+var experiments = []experiment{
+	{"fig1", "Figure 1 (dead/DOA LLT entries, sampled)", exp.Figure1},
+	{"fig2", "Figure 2 (LLT eviction classification)", exp.Figure2},
+	{"fig3", "Figure 3 (dead/DOA LLC blocks, sampled)", exp.Figure3},
+	{"fig4", "Figure 4 (LLC eviction classification)", exp.Figure4},
+	{"tab3", "Table III (DOA block / DOA page correlation)", exp.Table3},
+	{"fig9", "Figure 9 (TLB predictor IPC)", exp.Figure9},
+	{"tab4", "Table IV (LLT MPKI reductions)", exp.Table4},
+	{"fig10", "Figure 10 (LLC predictor IPC)", exp.Figure10},
+	{"tab5", "Table V (LLC MPKI reductions)", exp.Table5},
+	{"tab6", "Table VI (dead page predictor accuracy)", exp.Table6},
+	{"tab7", "Table VII (dead block predictor accuracy)", exp.Table7},
+	{"fig11a", "Figure 11a (LLT size sensitivity)", exp.Figure11a},
+	{"fig11b", "Figure 11b (pHIST configuration)", exp.Figure11b},
+	{"fig11c", "Figure 11c (shadow table size)", exp.Figure11c},
+	{"fig11d", "Figure 11d (PFQ size)", exp.Figure11d},
+	{"fig11e", "Figure 11e (LLC size sensitivity)", exp.Figure11e},
+	{"fig11f", "Figure 11f (SRRIP replacement)", exp.Figure11f},
+	{"exta", "Extension A (distance TLB prefetching vs dpPred)", exp.ExtensionPrefetch},
+	{"extb", "Extension B (DIP-managed LLT vs dpPred)", exp.ExtensionDIP},
+	{"abla", "Ablation A (dpPred prediction threshold)", exp.AblationThreshold},
+	{"ablb", "Ablation B (pHIST counter width)", exp.AblationCounterBits},
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paperexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		quick   = flag.Bool("quick", false, "use reduced trace lengths")
+		only    = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		seed    = flag.Uint64("seed", 1, "workload and allocator seed")
+		verbose = flag.Bool("v", false, "print per-simulation progress")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-8s %s\n", e.id, e.name)
+		}
+		fmt.Println("storage  Section VI-D (storage overheads)")
+		return nil
+	}
+
+	params := exp.DefaultParams()
+	if *quick {
+		params = exp.QuickParams()
+	}
+	params.Seed = *seed
+	r := exp.NewRunner(params)
+	if *verbose {
+		r.Progress = func(w, s string) {
+			fmt.Fprintf(os.Stderr, "  simulating %s under %s\n", w, s)
+		}
+	}
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			selected[strings.ToLower(id)] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	start := time.Now()
+	for _, e := range experiments {
+		if !want(e.id) {
+			continue
+		}
+		s, err := e.run(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Println(s.Format())
+	}
+	if want("storage") {
+		rep, err := exp.StorageOverheads()
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Format())
+	}
+	fmt.Fprintf(os.Stderr, "paperexp: done in %v\n", time.Since(start).Round(time.Second))
+	return nil
+}

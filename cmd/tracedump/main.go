@@ -1,0 +1,122 @@
+// Command tracedump records synthetic workload traces to the repository's
+// binary trace format and inspects existing trace files. Recorded traces
+// can be replayed through the simulator (deadpred.Replayer / the -replay
+// flag of deadsim-style tools) or exported as CSV for external analysis.
+//
+// Usage:
+//
+//	tracedump -workload cc -n 1000000 -o cc.dptr     # record
+//	tracedump -dump cc.dptr -n 20                    # peek at records
+//	tracedump -dump cc.dptr -csv > cc.csv            # export CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workload = flag.String("workload", "", "Table II workload to record")
+		n        = flag.Uint64("n", 1_000_000, "records to record/dump")
+		out      = flag.String("o", "", "output trace file (record mode)")
+		dump     = flag.String("dump", "", "trace file to inspect")
+		csv      = flag.Bool("csv", false, "dump as CSV instead of a summary")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *workload != "" && *out != "":
+		return record(*workload, *out, *n, *seed)
+	case *dump != "":
+		return inspect(*dump, *n, *csv)
+	default:
+		flag.Usage()
+		return fmt.Errorf("need either -workload with -o, or -dump")
+	}
+}
+
+func record(name, path string, n, seed uint64) error {
+	w, err := trace.ByName(name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Record(f, w.New(seed), n); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d accesses of %s to %s (%d bytes)\n", n, name, path, info.Size())
+	return nil
+}
+
+func inspect(path string, n uint64, csv bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rp, err := trace.NewReplayer(f, false)
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Println("pc,vaddr,gap,write,dependent")
+	} else {
+		fmt.Printf("trace %q\n", rp.Name())
+	}
+	var (
+		writes, deps uint64
+		pages        = map[uint64]bool{}
+		gaps         uint64
+	)
+	for i := uint64(0); i < n; i++ {
+		a := rp.Next()
+		if rp.Err != nil {
+			return rp.Err
+		}
+		if csv {
+			fmt.Printf("%#x,%#x,%d,%t,%t\n", a.PC, uint64(a.Addr), a.Gap, a.Write, a.Dependent)
+			continue
+		}
+		if i < 10 {
+			fmt.Printf("  %3d: pc=%#x addr=%#x gap=%d write=%t dep=%t\n",
+				i, a.PC, uint64(a.Addr), a.Gap, a.Write, a.Dependent)
+		}
+		if a.Write {
+			writes++
+		}
+		if a.Dependent {
+			deps++
+		}
+		pages[uint64(a.Addr.Page())] = true
+		gaps += uint64(a.Gap)
+	}
+	if !csv {
+		fmt.Printf("summary over %d records: %d distinct pages, %.1f%% writes, %.1f%% dependent, mean gap %.2f\n",
+			n, len(pages), 100*float64(writes)/float64(n), 100*float64(deps)/float64(n),
+			float64(gaps)/float64(n))
+	}
+	return nil
+}

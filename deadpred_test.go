@@ -1,0 +1,93 @@
+package deadpred
+
+import "testing"
+
+func TestPublicAPISmoke(t *testing.T) {
+	cfg := DefaultConfig()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, cb, err := AttachPaperPredictors(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := WorkloadByName("cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.New(1)
+	if err := sys.Run(g, 50_000); err != nil {
+		t.Fatal(err)
+	}
+	sys.StartMeasurement()
+	if err := sys.Run(g, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Result()
+	if res.IPC <= 0 || res.Instructions == 0 {
+		t.Fatalf("no progress: %+v", res)
+	}
+	// The coupled predictors must both be live.
+	if dp.Stats().Increments == 0 {
+		t.Error("dpPred saw no training events")
+	}
+	if cb.Stats().Notifications == 0 && dp.Stats().Predictions > 0 {
+		t.Error("cbPred heard no DOA pages despite dpPred predictions")
+	}
+}
+
+func TestWorkloadSuiteComplete(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 14 {
+		t.Fatalf("suite has %d workloads, want 14", len(ws))
+	}
+	if _, err := WorkloadByName("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestCustomMixThroughPublicAPI(t *testing.T) {
+	spec := MixSpec{
+		Name:   "custom",
+		GapMin: 1, GapMax: 3,
+		Streams: []StreamSpec{
+			{Label: "scan", PC: 0x400000, Pattern: PatternSequential,
+				Base: 0x10000000, Size: 8 << 20, Weight: 1},
+			{Label: "probe", PC: 0x410000, Pattern: PatternSkewed, SkewAlpha: 2,
+				Base: 0x20000000, Size: 16 << 20, Weight: 2},
+		},
+	}
+	g, err := NewMix(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AttachDPPred(sys); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(g, 30_000); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Result(); sys.LLT().Stats().Lookups == 0 {
+		t.Error("LLT never consulted")
+	}
+}
+
+func TestRunnerThroughPublicAPI(t *testing.T) {
+	r := NewRunner(Params{Warmup: 10_000, Measure: 30_000, Seed: 1, SampleEvery: 5_000})
+	w, err := WorkloadByName("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(w, Setup{Name: "baseline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemAccesses != 30_000 {
+		t.Errorf("measured %d accesses, want 30000", res.MemAccesses)
+	}
+}

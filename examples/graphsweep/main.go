@@ -1,0 +1,49 @@
+// Graphsweep: compare TLB dead-page predictors across the graph-analytics
+// workloads of the suite (GAPBS + Ligra + Graph500), the application class
+// whose huge, sparsely-reused footprints motivate the paper.
+//
+//	go run ./examples/graphsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	deadpred "repro"
+	"repro/internal/exp"
+	"repro/internal/trace"
+)
+
+func main() {
+	graphs := []string{"cc", "sssp", "Triangle", "KCore", "pr", "graph500", "bfs", "bc", "mis"}
+
+	params := deadpred.QuickParams()
+	r := exp.NewRunner(params)
+	r.Progress = func(w, s string) { fmt.Printf("  … %s under %s\n", w, s) }
+
+	setups := []exp.Setup{exp.Baseline(), exp.DPPredSetup(), exp.SHiPTLBSetup(), exp.AIPTLBSetup()}
+
+	fmt.Printf("%-10s %10s %10s %10s %10s   (normalized IPC; LLT MPKI reduction %%)\n",
+		"workload", "baseline", "dpPred", "SHiP-TLB", "AIP-TLB")
+	for _, name := range graphs {
+		w, err := trace.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results := make([]deadpred.Result, len(setups))
+		for i, su := range setups {
+			res, err := r.Run(w, su)
+			if err != nil {
+				log.Fatal(err)
+			}
+			results[i] = res
+		}
+		base := results[0]
+		fmt.Printf("%-10s %10.4f", name, base.IPC)
+		for _, res := range results[1:] {
+			fmt.Printf(" %5.3fx/%+3.0f%%",
+				res.IPC/base.IPC, 100*(base.LLTMPKI-res.LLTMPKI)/base.LLTMPKI)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,72 @@
+// Quickstart: run the paper's full proposal (dpPred + cbPred) on one
+// memory-intensive workload and compare against the unmodified baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	deadpred "repro"
+)
+
+func main() {
+	const (
+		workload = "cactusADM"
+		warmup   = 300_000
+		measure  = 1_000_000
+		seed     = 1
+	)
+
+	w, err := deadpred.WorkloadByName(workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: the Table I machine with plain LRU everywhere.
+	base, err := runOnce(w, seed, warmup, measure, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The proposal: dpPred guiding the LLT, cbPred guiding the LLC.
+	prop, err := runOnce(w, seed, warmup, measure, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s (%s)\n\n", w.Name, w.Description)
+	fmt.Printf("%-22s %12s %12s\n", "", "baseline", "dpPred+cbPred")
+	fmt.Printf("%-22s %12.4f %12.4f\n", "IPC", base.IPC, prop.IPC)
+	fmt.Printf("%-22s %12.3f %12.3f\n", "LLT MPKI", base.LLTMPKI, prop.LLTMPKI)
+	fmt.Printf("%-22s %12.3f %12.3f\n", "LLC MPKI", base.LLCMPKI, prop.LLCMPKI)
+	fmt.Printf("%-22s %12d %12d\n", "page walks", base.Walks, prop.Walks)
+	fmt.Printf("\nspeedup: %.2f%%  |  LLT MPKI: %+.1f%%  |  LLC MPKI: %+.1f%%\n",
+		100*(prop.IPC/base.IPC-1),
+		100*(prop.LLTMPKI/base.LLTMPKI-1),
+		100*(prop.LLCMPKI/base.LLCMPKI-1))
+}
+
+func runOnce(w deadpred.Workload, seed uint64, warmup, measure uint64, withPredictors bool) (deadpred.Result, error) {
+	cfg := deadpred.DefaultConfig()
+	cfg.Seed = seed
+	sys, err := deadpred.New(cfg)
+	if err != nil {
+		return deadpred.Result{}, err
+	}
+	if withPredictors {
+		if _, _, err := deadpred.AttachPaperPredictors(sys); err != nil {
+			return deadpred.Result{}, err
+		}
+	}
+	g := w.New(seed)
+	if err := sys.Run(g, warmup); err != nil {
+		return deadpred.Result{}, err
+	}
+	sys.StartMeasurement()
+	if err := sys.Run(g, measure); err != nil {
+		return deadpred.Result{}, err
+	}
+	return sys.Result(), nil
+}

@@ -1,0 +1,335 @@
+// Package cache implements the generic set-associative structure that backs
+// every lookup array in the simulated machine: the data caches (L1D, L2,
+// LLC), the TLBs, and the tag-only mirror structures used to measure
+// predictor accuracy.
+//
+// A cache stores Blocks keyed by an opaque 64-bit key: the physical block
+// number for data caches, the virtual page number for TLBs. Alongside
+// validity it carries the metadata the paper's predictors need — the
+// Accessed bit and DP bit of §V, the PC-hash/signature state of the SHiP
+// and AIP baselines — plus fill/last-hit timestamps for the §IV dead-entry
+// characterization. Keeping the metadata in one flat struct keeps the
+// simulator allocation-free on the access path.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+)
+
+// Block is one entry of a set-associative structure, including all
+// predictor-visible metadata.
+type Block struct {
+	// Valid reports whether the entry holds a live translation/block.
+	Valid bool
+	// Key identifies the entry: physical block number for caches,
+	// virtual page number for TLBs.
+	Key uint64
+	// Data is payload carried with the entry (the PFN for TLB entries);
+	// data caches leave it zero.
+	Data uint64
+	// Dirty marks blocks modified since fill.
+	Dirty bool
+
+	// Accessed is the paper's per-entry Accessed bit: set on the first
+	// hit after fill, examined at eviction to detect dead-on-arrival
+	// entries (§V-A, §V-B).
+	Accessed bool
+	// DP is cbPred's dead-page bit: the block was filled while its frame
+	// was in the PFN filter queue (§V-B).
+	DP bool
+	// DeadMark flags entries a predictor (AIP) considers dead; the
+	// victim selector prefers them over the policy's choice.
+	DeadMark bool
+	// Prefetched marks entries installed speculatively by a TLB
+	// prefetcher; they do not train the dead-entry predictors.
+	Prefetched bool
+
+	// PCHash is dpPred's per-TLB-entry hash of the PC that triggered the
+	// fill (6 bits by default, §V-A).
+	PCHash uint16
+	// Sig is the SHiP signature stored with the entry.
+	Sig uint16
+	// Outcome is SHiP's per-entry reuse bit.
+	Outcome bool
+
+	// AIPCount is the AIP event counter (accesses to the set since this
+	// entry was last touched). The AIP predictor resets it on hits.
+	AIPCount uint16
+	// AIPMax is the largest access interval observed this generation.
+	AIPMax uint16
+	// AIPThreshold is the death threshold loaded from AIP's prediction
+	// table at fill time.
+	AIPThreshold uint16
+	// AIPConf is the confidence bit loaded with AIPThreshold.
+	AIPConf bool
+
+	// FillTime, LastHitTime and Hits support the §IV dead/live
+	// classification: times are supplied by the caller (simulated
+	// cycles), Hits counts hits this generation.
+	FillTime    uint64
+	LastHitTime uint64
+	Hits        uint64
+}
+
+// Config sizes a cache.
+type Config struct {
+	// Name labels the structure in error messages and reports.
+	Name string
+	// Sets is the number of sets; must be ≥ 1.
+	Sets int
+	// Ways is the associativity; must be ≥ 1.
+	Ways int
+	// Policy chooses victims within a set; nil means LRU.
+	Policy policy.Policy
+}
+
+// Cache is a set-associative lookup structure.
+type Cache struct {
+	name   string
+	sets   int
+	ways   int
+	blocks [][]Block    // [set][way]
+	repl   []policy.Set // [set]
+
+	// Statistics maintained by the structure itself.
+	lookups   uint64
+	hits      uint64
+	fills     uint64
+	bypasses  uint64
+	evictions uint64
+}
+
+// New creates a cache from the configuration.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Sets < 1 || cfg.Ways < 1 {
+		return nil, fmt.Errorf("cache %q: need sets ≥ 1 and ways ≥ 1, got %d×%d",
+			cfg.Name, cfg.Sets, cfg.Ways)
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = policy.LRU{}
+	}
+	c := &Cache{
+		name:   cfg.Name,
+		sets:   cfg.Sets,
+		ways:   cfg.Ways,
+		blocks: make([][]Block, cfg.Sets),
+		repl:   make([]policy.Set, cfg.Sets),
+	}
+	backing := make([]Block, cfg.Sets*cfg.Ways)
+	for s := 0; s < cfg.Sets; s++ {
+		c.blocks[s] = backing[s*cfg.Ways : (s+1)*cfg.Ways : (s+1)*cfg.Ways]
+		c.repl[s] = pol.NewSet(cfg.Ways)
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on configuration errors; for tests and
+// compile-time-constant configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the configured name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Capacity returns the total number of entries.
+func (c *Cache) Capacity() int { return c.sets * c.ways }
+
+// SetIndex maps a key to its set.
+func (c *Cache) SetIndex(key uint64) int { return int(key % uint64(c.sets)) }
+
+// Lookup probes the cache for the key at simulated time now. On a hit it
+// updates replacement state, sets the Accessed bit, bumps hit counters and
+// returns the resident block. On a miss it returns (nil, false).
+func (c *Cache) Lookup(key uint64, now uint64) (*Block, bool) {
+	c.lookups++
+	set := c.SetIndex(key)
+	ways := c.blocks[set]
+	for w := range ways {
+		b := &ways[w]
+		if b.Valid && b.Key == key {
+			c.hits++
+			b.Accessed = true
+			b.Hits++
+			b.LastHitTime = now
+			c.repl[set].Touch(w)
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// Probe checks residency without touching replacement state, the Accessed
+// bit or statistics. Mirror structures and tests use it.
+func (c *Cache) Probe(key uint64) (*Block, bool) {
+	set := c.SetIndex(key)
+	ways := c.blocks[set]
+	for w := range ways {
+		b := &ways[w]
+		if b.Valid && b.Key == key {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// Victim reports the block that a Fill for key would evict, without
+// changing any state. The boolean is false when an invalid way would absorb
+// the fill (no eviction).
+func (c *Cache) Victim(key uint64) (Block, bool) {
+	set := c.SetIndex(key)
+	ways := c.blocks[set]
+	for w := range ways {
+		if !ways[w].Valid {
+			return Block{}, false
+		}
+	}
+	if w, ok := c.deadMarked(set); ok {
+		return ways[w], true
+	}
+	return ways[c.repl[set].Victim()], true
+}
+
+// Fill allocates an entry for the key, evicting if necessary, and returns
+// a copy of the evicted block (evicted=false when an invalid way was used).
+// The new block's metadata starts clean except for fields the caller sets
+// afterwards through the returned pointer.
+func (c *Cache) Fill(key uint64, hint policy.InsertHint, now uint64) (nb *Block, victim Block, evicted bool) {
+	c.fills++
+	set := c.SetIndex(key)
+	ways := c.blocks[set]
+	way := -1
+	for w := range ways {
+		if !ways[w].Valid {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		if w, ok := c.deadMarked(set); ok {
+			way = w
+		} else {
+			way = c.repl[set].Victim()
+		}
+		victim = ways[way]
+		evicted = true
+		c.evictions++
+	}
+	ways[way] = Block{
+		Valid:    true,
+		Key:      key,
+		FillTime: now,
+	}
+	c.repl[set].Insert(way, hint)
+	return &ways[way], victim, evicted
+}
+
+// deadMarked returns a way whose block carries DeadMark, preferring the
+// replacement policy's own victim when that block is also dead-marked.
+func (c *Cache) deadMarked(set int) (int, bool) {
+	pv := c.repl[set].Victim()
+	if c.blocks[set][pv].DeadMark {
+		return pv, true
+	}
+	for w := range c.blocks[set] {
+		if c.blocks[set][w].DeadMark {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// RecordBypass counts a fill that a predictor suppressed.
+func (c *Cache) RecordBypass() { c.bypasses++ }
+
+// Invalidate removes the key if resident, returning a copy of the removed
+// block. Used for inclusive-LLC back-invalidation.
+func (c *Cache) Invalidate(key uint64) (Block, bool) {
+	set := c.SetIndex(key)
+	ways := c.blocks[set]
+	for w := range ways {
+		if ways[w].Valid && ways[w].Key == key {
+			old := ways[w]
+			ways[w] = Block{}
+			c.repl[set].Invalidate(w)
+			return old, true
+		}
+	}
+	return Block{}, false
+}
+
+// ForEachInSet visits every valid block in the set containing key.
+// Predictors with per-set bookkeeping (AIP) use it on the access path.
+func (c *Cache) ForEachInSet(key uint64, fn func(way int, b *Block)) {
+	set := c.SetIndex(key)
+	for w := range c.blocks[set] {
+		if c.blocks[set][w].Valid {
+			fn(w, &c.blocks[set][w])
+		}
+	}
+}
+
+// ForEach visits every valid block. Samplers use it to snapshot residency.
+func (c *Cache) ForEach(fn func(set, way int, b *Block)) {
+	for s := range c.blocks {
+		for w := range c.blocks[s] {
+			if c.blocks[s][w].Valid {
+				fn(s, w, &c.blocks[s][w])
+			}
+		}
+	}
+}
+
+// BumpSetCounters lets predictors (AIP) advance the per-set access-interval
+// counters: every valid block in key's set except key itself gets
+// AIPCount+1 (saturating).
+func (c *Cache) BumpSetCounters(key uint64) {
+	set := c.SetIndex(key)
+	for w := range c.blocks[set] {
+		b := &c.blocks[set][w]
+		if b.Valid && b.Key != key && b.AIPCount < ^uint16(0) {
+			b.AIPCount++
+		}
+	}
+}
+
+// Stats is a snapshot of the cache's internal counters.
+type Stats struct {
+	Lookups   uint64
+	Hits      uint64
+	Misses    uint64
+	Fills     uint64
+	Bypasses  uint64
+	Evictions uint64
+}
+
+// Stats returns a snapshot of activity counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Lookups:   c.lookups,
+		Hits:      c.hits,
+		Misses:    c.lookups - c.hits,
+		Fills:     c.fills,
+		Bypasses:  c.bypasses,
+		Evictions: c.evictions,
+	}
+}
+
+// ResetStats zeroes the activity counters (warmup support) without
+// touching cache contents.
+func (c *Cache) ResetStats() {
+	c.lookups, c.hits, c.fills, c.bypasses, c.evictions = 0, 0, 0, 0, 0
+}

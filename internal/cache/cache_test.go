@@ -1,0 +1,290 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/policy"
+)
+
+func mk(t *testing.T, sets, ways int) *Cache {
+	t.Helper()
+	c, err := New(Config{Name: "test", Sets: sets, Ways: ways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	if _, err := New(Config{Sets: 0, Ways: 4}); err == nil {
+		t.Error("Sets=0 accepted")
+	}
+	if _, err := New(Config{Sets: 4, Ways: 0}); err == nil {
+		t.Error("Ways=0 accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with bad config did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := mk(t, 4, 2)
+	if _, ok := c.Lookup(42, 1); ok {
+		t.Fatal("hit in empty cache")
+	}
+	nb, _, ev := c.Fill(42, policy.InsertMRU, 2)
+	if ev {
+		t.Fatal("eviction from empty set")
+	}
+	if nb.Key != 42 || !nb.Valid || nb.FillTime != 2 {
+		t.Fatalf("bad new block: %+v", *nb)
+	}
+	b, ok := c.Lookup(42, 5)
+	if !ok {
+		t.Fatal("miss after fill")
+	}
+	if !b.Accessed || b.Hits != 1 || b.LastHitTime != 5 {
+		t.Fatalf("hit metadata wrong: %+v", *b)
+	}
+	st := c.Stats()
+	if st.Lookups != 2 || st.Hits != 1 || st.Misses != 1 || st.Fills != 1 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+}
+
+func TestFillEvictsLRU(t *testing.T) {
+	c := mk(t, 1, 2)
+	c.Fill(10, policy.InsertMRU, 0)
+	c.Fill(20, policy.InsertMRU, 0)
+	c.Lookup(10, 1) // 20 becomes LRU
+	_, victim, ev := c.Fill(30, policy.InsertMRU, 2)
+	if !ev || victim.Key != 20 {
+		t.Fatalf("victim = %+v (evicted=%v), want key 20", victim, ev)
+	}
+	if _, ok := c.Probe(10); !ok {
+		t.Error("10 should survive")
+	}
+	if _, ok := c.Probe(20); ok {
+		t.Error("20 should be gone")
+	}
+}
+
+func TestVictimPreview(t *testing.T) {
+	c := mk(t, 1, 2)
+	if _, would := c.Victim(99); would {
+		t.Error("empty set should not predict an eviction")
+	}
+	c.Fill(1, policy.InsertMRU, 0)
+	c.Fill(2, policy.InsertMRU, 0)
+	v, would := c.Victim(99)
+	if !would || v.Key != 1 {
+		t.Errorf("Victim = %+v (%v), want key 1", v, would)
+	}
+	// Preview must not mutate: repeated calls agree.
+	v2, _ := c.Victim(99)
+	if v2.Key != v.Key {
+		t.Error("Victim preview mutated state")
+	}
+}
+
+func TestDeadMarkPriority(t *testing.T) {
+	c := mk(t, 1, 4)
+	for k := uint64(1); k <= 4; k++ {
+		c.Fill(k, policy.InsertMRU, 0)
+	}
+	b, _ := c.Probe(3)
+	b.DeadMark = true
+	c.Lookup(1, 1) // make 1 MRU; LRU victim would be 2
+	_, victim, ev := c.Fill(5, policy.InsertMRU, 2)
+	if !ev || victim.Key != 3 {
+		t.Errorf("victim = %+v, want dead-marked key 3", victim)
+	}
+}
+
+func TestDeadMarkPrefersPolicyVictim(t *testing.T) {
+	c := mk(t, 1, 2)
+	c.Fill(1, policy.InsertMRU, 0)
+	c.Fill(2, policy.InsertMRU, 0)
+	b1, _ := c.Probe(1)
+	b1.DeadMark = true
+	b2, _ := c.Probe(2)
+	b2.DeadMark = true
+	// Policy victim is 1 (LRU); with both dead-marked, pick the policy's.
+	_, victim, _ := c.Fill(3, policy.InsertMRU, 1)
+	if victim.Key != 1 {
+		t.Errorf("victim = %d, want policy victim 1", victim.Key)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := mk(t, 2, 2)
+	c.Fill(4, policy.InsertMRU, 0)
+	old, ok := c.Invalidate(4)
+	if !ok || old.Key != 4 {
+		t.Fatalf("Invalidate = %+v, %v", old, ok)
+	}
+	if _, ok := c.Probe(4); ok {
+		t.Error("still resident after Invalidate")
+	}
+	if _, ok := c.Invalidate(4); ok {
+		t.Error("double Invalidate reported success")
+	}
+}
+
+func TestProbeDoesNotDisturb(t *testing.T) {
+	c := mk(t, 1, 2)
+	c.Fill(1, policy.InsertMRU, 0)
+	c.Fill(2, policy.InsertMRU, 0)
+	before := c.Stats()
+	for i := 0; i < 10; i++ {
+		c.Probe(1)
+	}
+	if c.Stats() != before {
+		t.Error("Probe changed statistics")
+	}
+	// Probing 1 repeatedly must not promote it: 1 is still LRU victim.
+	_, victim, _ := c.Fill(3, policy.InsertMRU, 1)
+	if victim.Key != 1 {
+		t.Errorf("victim = %d, want 1 (Probe must not touch LRU)", victim.Key)
+	}
+}
+
+func TestBumpSetCounters(t *testing.T) {
+	c := mk(t, 1, 3)
+	c.Fill(1, policy.InsertMRU, 0)
+	c.Fill(2, policy.InsertMRU, 0)
+	c.BumpSetCounters(1)
+	b1, _ := c.Probe(1)
+	b2, _ := c.Probe(2)
+	if b1.AIPCount != 0 || b2.AIPCount != 1 {
+		t.Errorf("counters = %d,%d; want 0,1", b1.AIPCount, b2.AIPCount)
+	}
+	// Counters saturate rather than wrap.
+	b2.AIPCount = ^uint16(0)
+	c.BumpSetCounters(1)
+	if b2.AIPCount != ^uint16(0) {
+		t.Errorf("AIPCount wrapped to %d", b2.AIPCount)
+	}
+}
+
+func TestForEachVisitsValidOnly(t *testing.T) {
+	c := mk(t, 8, 2)
+	keys := []uint64{3, 12, 21} // distinct sets mod 8
+	for _, k := range keys {
+		c.Fill(k, policy.InsertMRU, 0)
+	}
+	seen := map[uint64]bool{}
+	c.ForEach(func(_, _ int, b *Block) { seen[b.Key] = true })
+	if len(seen) != len(keys) {
+		t.Fatalf("visited %d blocks, want %d", len(seen), len(keys))
+	}
+	for _, k := range keys {
+		if !seen[k] {
+			t.Errorf("key %d not visited", k)
+		}
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c := mk(t, 2, 2)
+	c.Fill(7, policy.InsertMRU, 0)
+	c.Lookup(7, 1)
+	c.ResetStats()
+	if st := c.Stats(); st.Lookups != 0 || st.Hits != 0 || st.Fills != 0 {
+		t.Errorf("stats not reset: %+v", st)
+	}
+	if _, ok := c.Probe(7); !ok {
+		t.Error("ResetStats dropped contents")
+	}
+}
+
+// Property: after any fill sequence, residency never exceeds capacity and
+// every resident key is findable.
+func TestCapacityInvariantProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		c := MustNew(Config{Name: "p", Sets: 4, Ways: 2})
+		for _, k := range keys {
+			if _, ok := c.Lookup(uint64(k), 0); !ok {
+				c.Fill(uint64(k), policy.InsertMRU, 0)
+			}
+		}
+		count := 0
+		ok := true
+		c.ForEach(func(_, _ int, b *Block) {
+			count++
+			if _, found := c.Probe(b.Key); !found {
+				ok = false
+			}
+			if c.SetIndex(b.Key) >= c.Sets() {
+				ok = false
+			}
+		})
+		return ok && count <= c.Capacity()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a key is resident in exactly one way of exactly its set.
+func TestSingleResidencyProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		c := MustNew(Config{Name: "p", Sets: 8, Ways: 4})
+		for _, k := range keys {
+			if _, ok := c.Lookup(uint64(k), 0); !ok {
+				c.Fill(uint64(k), policy.InsertMRU, 0)
+			}
+		}
+		counts := map[uint64]int{}
+		c.ForEach(func(set, _ int, b *Block) {
+			counts[b.Key]++
+			if set != c.SetIndex(b.Key) {
+				counts[b.Key] += 100 // flag wrong set
+			}
+		})
+		for _, n := range counts {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hits + misses == lookups, fills ≥ evictions.
+func TestStatsBalanceProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		c := MustNew(Config{Name: "p", Sets: 2, Ways: 2})
+		for _, k := range keys {
+			if _, ok := c.Lookup(uint64(k), 0); !ok {
+				c.Fill(uint64(k), policy.InsertMRU, 0)
+			}
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == st.Lookups && st.Fills >= st.Evictions
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSRRIPPolicyIntegration(t *testing.T) {
+	c := MustNew(Config{Name: "srrip", Sets: 1, Ways: 2, Policy: policy.SRRIP{}})
+	c.Fill(1, policy.InsertMRU, 0)
+	c.Fill(2, policy.InsertMRU, 0)
+	c.Lookup(1, 1)
+	_, victim, ev := c.Fill(3, policy.InsertMRU, 2)
+	if !ev || victim.Key != 2 {
+		t.Errorf("victim = %+v, want key 2 under SRRIP", victim)
+	}
+}

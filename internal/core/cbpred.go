@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/pred"
+	"repro/internal/xhash"
+)
+
+// pfq is cbPred's PFN filter queue (§V-B): a small FIFO of physical frame
+// numbers of recently predicted DOA pages, matched in parallel against
+// every incoming LLC block.
+type pfq struct {
+	frames []arch.PFN
+	valid  []bool
+	next   int
+}
+
+func newPFQ(n int) *pfq {
+	return &pfq{frames: make([]arch.PFN, n), valid: make([]bool, n)}
+}
+
+// Insert enqueues a frame, displacing the oldest (FIFO). Re-inserting a
+// frame already present refreshes nothing — real hardware would simply
+// hold both; matching is by value so duplicates are harmless.
+func (q *pfq) Insert(f arch.PFN) {
+	if len(q.frames) == 0 {
+		return
+	}
+	q.frames[q.next] = f
+	q.valid[q.next] = true
+	q.next = (q.next + 1) % len(q.frames)
+}
+
+// Contains matches a frame against all entries (in parallel in hardware).
+func (q *pfq) Contains(f arch.PFN) bool {
+	for i, v := range q.valid {
+		if v && q.frames[i] == f {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the configured capacity.
+func (q *pfq) Size() int { return len(q.frames) }
+
+// CBPredConfig parameterizes the correlating dead block predictor.
+type CBPredConfig struct {
+	// BHISTBits is the width of the block-address hash; bHIST has
+	// 2^BHISTBits counters (12 → 4096 entries for a 2 MB LLC, §V-B).
+	BHISTBits uint
+	// CounterBits is the width of bHIST's saturating counters (3).
+	CounterBits uint
+	// Threshold is the confidence above which a block is predicted DOA
+	// (counter > Threshold; 6 by default).
+	Threshold uint8
+	// PFQEntries sizes the PFN filter queue (8 by default).
+	PFQEntries int
+	// UsePFQ enables the DOA-page pre-filter. Disabling it gives the
+	// cbPred−PF variant of Table VII: every block trains and consults
+	// bHIST, costing accuracy.
+	UsePFQ bool
+	// LLCBlocks is the guarded cache's block count, for storage
+	// accounting of the two per-block bits (DP + Accessed).
+	LLCBlocks int
+}
+
+// DefaultCBPredConfig is the paper's default cbPred for a 2 MB LLC: a
+// 4096-entry bHIST of 3-bit counters, threshold 6, and an 8-entry PFQ.
+func DefaultCBPredConfig(llcBlocks int) CBPredConfig {
+	return CBPredConfig{
+		BHISTBits:   12,
+		CounterBits: 3,
+		Threshold:   6,
+		PFQEntries:  8,
+		UsePFQ:      true,
+		LLCBlocks:   llcBlocks,
+	}
+}
+
+// CBPredStats counts cbPred activity.
+type CBPredStats struct {
+	// Notifications is the number of DOA-page PFNs received from dpPred.
+	Notifications uint64
+	// PFQMatches is the number of LLC fills whose frame matched the PFQ.
+	PFQMatches uint64
+	// Predictions is the number of blocks predicted DOA (bypassed).
+	Predictions uint64
+	// Increments and Clears count eviction-time training events.
+	Increments uint64
+	Clears     uint64
+}
+
+// CBPred is the correlating dead block predictor (§V-B). It only works
+// coupled with dpPred: the simulator forwards every dpPred DOA-page
+// prediction to NotifyDOAPage.
+type CBPred struct {
+	cfg    CBPredConfig
+	bhist  []uint8
+	ctrMax uint8
+	q      *pfq
+
+	stats CBPredStats
+}
+
+// NewCBPred builds the predictor.
+func NewCBPred(cfg CBPredConfig) (*CBPred, error) {
+	if cfg.BHISTBits == 0 || cfg.BHISTBits > 24 {
+		return nil, fmt.Errorf("cbpred: BHISTBits must be in [1,24], got %d", cfg.BHISTBits)
+	}
+	if cfg.CounterBits == 0 || cfg.CounterBits > 8 {
+		return nil, fmt.Errorf("cbpred: CounterBits must be in [1,8], got %d", cfg.CounterBits)
+	}
+	max := uint8(1<<cfg.CounterBits - 1)
+	if cfg.Threshold >= max {
+		return nil, fmt.Errorf("cbpred: threshold %d unreachable with %d-bit counters",
+			cfg.Threshold, cfg.CounterBits)
+	}
+	if cfg.PFQEntries < 0 {
+		return nil, fmt.Errorf("cbpred: negative PFQ size")
+	}
+	return &CBPred{
+		cfg:    cfg,
+		bhist:  make([]uint8, 1<<cfg.BHISTBits),
+		ctrMax: max,
+		q:      newPFQ(cfg.PFQEntries),
+	}, nil
+}
+
+// Name implements pred.LLCPredictor.
+func (p *CBPred) Name() string { return "cbPred" }
+
+// NotifyDOAPage implements pred.DOAPageListener: the LLC controller
+// receives the frame of a predicted DOA page and inserts it in the PFQ.
+func (p *CBPred) NotifyDOAPage(f arch.PFN) {
+	p.stats.Notifications++
+	p.q.Insert(f)
+}
+
+func (p *CBPred) hash(blockNum uint64) int {
+	return int(xhash.BlockAddr(blockNum, p.cfg.BHISTBits))
+}
+
+// frameOf recovers the physical frame from a block number.
+func frameOf(blockNum uint64) arch.PFN {
+	return arch.PFN(blockNum >> (arch.PageShift - arch.BlockShift))
+}
+
+// OnHit implements pred.LLCPredictor. The Accessed bit is maintained by the
+// cache; per Fig. 8a no predictor state changes on a hit.
+func (p *CBPred) OnHit(*cache.Block) {}
+
+// OnFill implements pred.LLCPredictor: the Fig. 8b fill path. The incoming
+// block's frame is matched against the PFQ; on a match, a confident bHIST
+// counter bypasses the block, otherwise the block allocates with its DP bit
+// set. Without a PFQ match the fill proceeds untouched.
+func (p *CBPred) OnFill(blockNum uint64, _ uint64) pred.Decision {
+	if p.cfg.UsePFQ && !p.q.Contains(frameOf(blockNum)) {
+		return pred.Decision{}
+	}
+	p.stats.PFQMatches++
+	if p.bhist[p.hash(blockNum)] > p.cfg.Threshold {
+		p.stats.Predictions++
+		return pred.Decision{Bypass: true, PredictDOA: true}
+	}
+	return pred.Decision{SetDP: true}
+}
+
+// OnEvict implements pred.LLCPredictor: the Fig. 8c eviction path. Only
+// blocks with the DP bit train bHIST: an un-accessed DP block increments
+// its counter; an accessed DP block proves the page's blocks live and
+// clears it.
+func (p *CBPred) OnEvict(b cache.Block) {
+	if !b.DP {
+		return
+	}
+	ctr := &p.bhist[p.hash(b.Key)]
+	if b.Accessed {
+		p.stats.Clears++
+		*ctr = 0
+		return
+	}
+	p.stats.Increments++
+	if *ctr < p.ctrMax {
+		*ctr++
+	}
+}
+
+// StorageBits implements pred.LLCPredictor, reproducing the §V-D breakdown:
+// two bits per LLC block (DP + Accessed), the bHIST counters, and the PFQ's
+// 39-bit PFNs.
+func (p *CBPred) StorageBits() uint64 {
+	perBlock := 2 * uint64(p.cfg.LLCBlocks)
+	bhist := uint64(len(p.bhist)) * uint64(p.cfg.CounterBits)
+	pfqBits := uint64(p.q.Size()) * arch.PFNBits
+	return perBlock + bhist + pfqBits
+}
+
+// Stats returns a snapshot of predictor activity.
+func (p *CBPred) Stats() CBPredStats { return p.stats }
+
+// Counter exposes a bHIST counter (for tests).
+func (p *CBPred) Counter(blockNum uint64) uint8 { return p.bhist[p.hash(blockNum)] }
+
+var (
+	_ pred.LLCPredictor    = (*CBPred)(nil)
+	_ pred.DOAPageListener = (*CBPred)(nil)
+)

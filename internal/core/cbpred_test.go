@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+)
+
+func newCB(t *testing.T) *CBPred {
+	t.Helper()
+	p, err := NewCBPred(DefaultCBPredConfig(32768))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// blockOn returns the n-th block number on the given frame.
+func blockOn(f arch.PFN, n uint64) uint64 {
+	return uint64(f)<<(arch.PageShift-arch.BlockShift) | (n % arch.BlocksPerPage)
+}
+
+func TestNewCBPredValidation(t *testing.T) {
+	bad := []CBPredConfig{
+		{BHISTBits: 0, CounterBits: 3, Threshold: 6},
+		{BHISTBits: 25, CounterBits: 3, Threshold: 6},
+		{BHISTBits: 12, CounterBits: 0, Threshold: 6},
+		{BHISTBits: 12, CounterBits: 3, Threshold: 7},
+		{BHISTBits: 12, CounterBits: 3, Threshold: 6, PFQEntries: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewCBPred(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPFQFilterGatesEverything(t *testing.T) {
+	p := newCB(t)
+	blk := blockOn(100, 3)
+	// Frame 100 was never announced as DOA: no training, no DP bit.
+	if d := p.OnFill(blk, 0); d.SetDP || d.Bypass {
+		t.Fatalf("unfiltered fill acted: %+v", d)
+	}
+	p.OnEvict(cache.Block{Key: blk, DP: false, Accessed: false})
+	if p.Counter(blk) != 0 {
+		t.Error("non-DP eviction trained bHIST")
+	}
+	if p.Stats().PFQMatches != 0 {
+		t.Error("PFQ matched a frame that was never inserted")
+	}
+}
+
+func TestDPBitSetOnMatchedFill(t *testing.T) {
+	p := newCB(t)
+	p.NotifyDOAPage(100)
+	d := p.OnFill(blockOn(100, 3), 0)
+	if !d.SetDP {
+		t.Error("fill on DOA page did not set DP bit")
+	}
+	if d.Bypass {
+		t.Error("bypass before any training")
+	}
+	if p.Stats().PFQMatches != 1 || p.Stats().Notifications != 1 {
+		t.Errorf("stats = %+v", p.Stats())
+	}
+}
+
+func TestTrainingToBypass(t *testing.T) {
+	p := newCB(t)
+	p.NotifyDOAPage(100)
+	blk := blockOn(100, 7)
+	// Seven un-accessed DP evictions push the counter past threshold 6.
+	for i := 0; i < 7; i++ {
+		if d := p.OnFill(blk, 0); d.Bypass {
+			t.Fatalf("premature bypass after %d trainings", i)
+		}
+		p.OnEvict(cache.Block{Key: blk, DP: true, Accessed: false})
+	}
+	d := p.OnFill(blk, 0)
+	if !d.Bypass || !d.PredictDOA {
+		t.Fatal("no bypass after counter exceeded threshold")
+	}
+	if p.Stats().Predictions != 1 {
+		t.Errorf("Predictions = %d, want 1", p.Stats().Predictions)
+	}
+}
+
+func TestAccessedDPEvictionClears(t *testing.T) {
+	p := newCB(t)
+	blk := blockOn(42, 0)
+	for i := 0; i < 7; i++ {
+		p.OnEvict(cache.Block{Key: blk, DP: true, Accessed: false})
+	}
+	if p.Counter(blk) != 7 {
+		t.Fatalf("counter = %d, want 7", p.Counter(blk))
+	}
+	p.OnEvict(cache.Block{Key: blk, DP: true, Accessed: true})
+	if p.Counter(blk) != 0 {
+		t.Errorf("counter = %d after accessed eviction, want 0", p.Counter(blk))
+	}
+}
+
+func TestCounterSaturatesAtMax(t *testing.T) {
+	p := newCB(t)
+	blk := blockOn(42, 0)
+	for i := 0; i < 50; i++ {
+		p.OnEvict(cache.Block{Key: blk, DP: true, Accessed: false})
+	}
+	if p.Counter(blk) != 7 {
+		t.Errorf("counter = %d, want saturation at 7", p.Counter(blk))
+	}
+}
+
+func TestPFQFIFOReplacement(t *testing.T) {
+	cfg := DefaultCBPredConfig(32768)
+	cfg.PFQEntries = 2
+	p, err := NewCBPred(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.NotifyDOAPage(1)
+	p.NotifyDOAPage(2)
+	p.NotifyDOAPage(3) // displaces 1
+	if d := p.OnFill(blockOn(1, 0), 0); d.SetDP {
+		t.Error("displaced frame 1 still matches")
+	}
+	if d := p.OnFill(blockOn(2, 0), 0); !d.SetDP {
+		t.Error("frame 2 should match")
+	}
+	if d := p.OnFill(blockOn(3, 0), 0); !d.SetDP {
+		t.Error("frame 3 should match")
+	}
+}
+
+func TestNoPFQVariantTrainsEverything(t *testing.T) {
+	cfg := DefaultCBPredConfig(32768)
+	cfg.UsePFQ = false // cbPred−PF
+	p, err := NewCBPred(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := blockOn(777, 5) // never announced
+	if d := p.OnFill(blk, 0); !d.SetDP {
+		t.Error("cbPred−PF must consider every block")
+	}
+	for i := 0; i < 7; i++ {
+		p.OnEvict(cache.Block{Key: blk, DP: true, Accessed: false})
+	}
+	if d := p.OnFill(blk, 0); !d.Bypass {
+		t.Error("cbPred−PF should bypass after training")
+	}
+}
+
+func TestCBPredStorageBitsDefault(t *testing.T) {
+	p := newCB(t)
+	// §V-D: 8 KB per-block bits + 1.5 KB bHIST + 39 B PFQ ≈ 9.54 KB.
+	want := uint64(2*32768 + 3*4096 + 8*39)
+	if got := p.StorageBits(); got != want {
+		t.Errorf("StorageBits = %d, want %d", got, want)
+	}
+	if kb := float64(p.StorageBits()) / 8 / 1024; kb > 9.6 || kb < 9.5 {
+		t.Errorf("storage = %.2f KB, paper says ≈9.54 KB", kb)
+	}
+}
+
+func TestZeroSizePFQNeverMatches(t *testing.T) {
+	cfg := DefaultCBPredConfig(32768)
+	cfg.PFQEntries = 0
+	p, err := NewCBPred(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.NotifyDOAPage(5)
+	if d := p.OnFill(blockOn(5, 0), 0); d.SetDP || d.Bypass {
+		t.Error("zero-size PFQ matched")
+	}
+}
+
+// Property: cbPred never acts on a block whose frame was not announced
+// (with the PFQ enabled and large enough to never displace).
+func TestFilterSoundnessProperty(t *testing.T) {
+	f := func(announced []uint8, probes []uint16) bool {
+		cfg := DefaultCBPredConfig(32768)
+		cfg.PFQEntries = 512 // no displacement in this test
+		p, err := NewCBPred(cfg)
+		if err != nil {
+			return false
+		}
+		inQ := map[arch.PFN]bool{}
+		for _, a := range announced {
+			f := arch.PFN(a)
+			p.NotifyDOAPage(f)
+			inQ[f] = true
+		}
+		for _, pr := range probes {
+			frame := arch.PFN(pr % 512)
+			d := p.OnFill(blockOn(frame, uint64(pr)), 0)
+			if !inQ[frame] && (d.SetDP || d.Bypass || d.PredictDOA) {
+				return false
+			}
+			if inQ[frame] && !d.SetDP && !d.Bypass {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bHIST counters stay within 3 bits whatever the event stream.
+func TestBHISTWidthProperty(t *testing.T) {
+	f := func(events []uint16) bool {
+		p, err := NewCBPred(DefaultCBPredConfig(32768))
+		if err != nil {
+			return false
+		}
+		for _, e := range events {
+			blk := uint64(e)
+			p.OnEvict(cache.Block{Key: blk, DP: e%3 != 0, Accessed: e%5 == 0})
+			if p.Counter(blk) > 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,23 @@
+// Package core implements the paper's contribution: the dead-page
+// predictor for the last-level TLB (dpPred, §V-A) and the correlating dead
+// block predictor for the last-level cache (cbPred, §V-B).
+//
+// dpPred predicts dead-on-arrival (DOA) pages with a novel two-dimensional
+// history table (pHIST) of 3-bit saturating counters, indexed by a 6-bit
+// hash of the program counter on one axis and a 4-bit hash of the virtual
+// page number on the other. Predicted-DOA translations bypass the LLT and
+// park in a tiny shadow table that doubles as a victim buffer; a shadow hit
+// signals a misprediction and flushes the pHIST column for that VPN hash
+// (negative feedback).
+//
+// cbPred leverages the observation (§IV-B) that DOA blocks concentrate on
+// DOA pages: an 8-entry FIFO PFN filter queue (PFQ) holds the frames of
+// recently predicted DOA pages, and only blocks landing on those frames
+// train or consult a 4096-entry bHIST table of 3-bit counters. The
+// filtering gives cbPred ≥98% accuracy with roughly 6×–11× less storage
+// than conventional LLC dead-block predictors.
+//
+// Both predictors implement the interfaces in internal/pred and plug into
+// the simulator in internal/sim; internal/stats grades every prediction
+// against mirror-structure ground truth.
+package core

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/xhash"
+)
+
+func TestShadowTableFIFO(t *testing.T) {
+	s := newShadowTable(2)
+	s.Insert(1, 10)
+	s.Insert(2, 20)
+	s.Insert(3, 30) // displaces 1
+	if _, ok := s.Lookup(1); ok {
+		t.Error("displaced entry still present")
+	}
+	if pfn, ok := s.Lookup(2); !ok || pfn != 20 {
+		t.Errorf("Lookup(2) = %d,%v", pfn, ok)
+	}
+	if pfn, ok := s.Lookup(3); !ok || pfn != 30 {
+		t.Errorf("Lookup(3) = %d,%v", pfn, ok)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after consuming all entries, want 0", s.Len())
+	}
+}
+
+func TestShadowTableZeroSized(t *testing.T) {
+	s := newShadowTable(0)
+	s.Insert(1, 10) // must not panic
+	if _, ok := s.Lookup(1); ok {
+		t.Error("zero-sized shadow table held an entry")
+	}
+	if s.Size() != 0 {
+		t.Errorf("Size = %d, want 0", s.Size())
+	}
+}
+
+func TestDPPredPCOnlyColumnFlushIsGlobal(t *testing.T) {
+	// With VPNBits=0 the table is one column; a shadow hit flushes the
+	// whole predictor — the correct degeneration of the 2-D design.
+	cfg := DefaultDPPredConfig(1024)
+	cfg.PCBits, cfg.VPNBits = 10, 0
+	p, err := NewDPPred(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcs := []uint64{0x400100, 0x400200}
+	for _, pc := range pcs {
+		for i := 0; i < 7; i++ {
+			p.OnEvict(cacheBlock(arch.VPN(1), pc, 10, false))
+		}
+	}
+	d := p.OnFill(arch.VPN(5), 50, pcs[0])
+	if !d.Bypass {
+		t.Fatal("expected bypass")
+	}
+	if _, ok := p.OnMiss(arch.VPN(5), pcs[0]); !ok {
+		t.Fatal("expected shadow hit")
+	}
+	for _, pc := range pcs {
+		if c := p.Counter(uint16(xhash.PC(pc, 10)), arch.VPN(5)); c != 0 {
+			t.Errorf("counter for pc %#x = %d after global flush, want 0", pc, c)
+		}
+	}
+}
+
+func TestPFQSizeAccessor(t *testing.T) {
+	p, err := NewCBPred(DefaultCBPredConfig(32768))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.q.Size(); got != 8 {
+		t.Errorf("PFQ size = %d, want 8", got)
+	}
+}
+
+func TestFrameOfBlock(t *testing.T) {
+	// Block number 64·f + k lives on frame f.
+	if got := frameOf(64*7 + 5); got != 7 {
+		t.Errorf("frameOf = %d, want 7", got)
+	}
+	if got := frameOf(0); got != 0 {
+		t.Errorf("frameOf(0) = %d, want 0", got)
+	}
+}
+
+func TestCBPredDuplicateNotificationsHarmless(t *testing.T) {
+	p, err := NewCBPred(DefaultCBPredConfig(32768))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		p.NotifyDOAPage(42)
+	}
+	if d := p.OnFill(blockOn(42, 0), 0); !d.SetDP {
+		t.Error("frame lost despite repeated notification")
+	}
+	if p.Stats().Notifications != 20 {
+		t.Errorf("Notifications = %d, want 20", p.Stats().Notifications)
+	}
+}
+
+// cacheBlock builds an eviction-shaped block for dpPred training.
+func cacheBlock(vpn arch.VPN, pc uint64, pcBits uint, accessed bool) cache.Block {
+	return cache.Block{
+		Key:      uint64(vpn),
+		PCHash:   uint16(xhash.PC(pc, pcBits)),
+		Accessed: accessed,
+	}
+}

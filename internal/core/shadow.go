@@ -1,0 +1,61 @@
+package core
+
+import "repro/internal/arch"
+
+// shadowEntry is one slot of dpPred's shadow table: the VPN of a recently
+// bypassed (predicted-DOA) page together with its translation, so the table
+// can serve as a victim buffer (§V-A).
+type shadowEntry struct {
+	valid bool
+	vpn   arch.VPN
+	pfn   arch.PFN
+}
+
+// shadowTable is the small FIFO victim buffer of §V-A (2 entries by
+// default). A hit indicates a misprediction: the caller returns the
+// translation, removes the entry and applies negative feedback to pHIST.
+type shadowTable struct {
+	entries []shadowEntry
+	next    int // FIFO insertion cursor
+}
+
+// newShadowTable builds a table with n slots; n may be zero (dpPred−SH).
+func newShadowTable(n int) *shadowTable {
+	return &shadowTable{entries: make([]shadowEntry, n)}
+}
+
+// Insert records a bypassed translation, displacing the oldest slot.
+func (s *shadowTable) Insert(vpn arch.VPN, pfn arch.PFN) {
+	if len(s.entries) == 0 {
+		return
+	}
+	s.entries[s.next] = shadowEntry{valid: true, vpn: vpn, pfn: pfn}
+	s.next = (s.next + 1) % len(s.entries)
+}
+
+// Lookup finds and removes the entry for vpn, returning its translation.
+func (s *shadowTable) Lookup(vpn arch.VPN) (arch.PFN, bool) {
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.valid && e.vpn == vpn {
+			pfn := e.pfn
+			*e = shadowEntry{}
+			return pfn, true
+		}
+	}
+	return 0, false
+}
+
+// Len returns the number of valid entries (for tests and stats).
+func (s *shadowTable) Len() int {
+	n := 0
+	for _, e := range s.entries {
+		if e.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the configured slot count.
+func (s *shadowTable) Size() int { return len(s.entries) }

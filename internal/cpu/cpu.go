@@ -1,0 +1,178 @@
+// Package cpu implements the simplified out-of-order timing model the
+// simulator uses to turn memory-hierarchy latencies into IPC, standing in
+// for the paper's Sniper core model (§III; see DESIGN.md substitution 1).
+//
+// The model tracks three in-order resources of an OoO core and lets
+// everything else overlap:
+//
+//   - dispatch: at most Width instructions enter the window per cycle, and
+//     an instruction cannot dispatch until the instruction ROB-size before
+//     it has retired (finite reorder buffer);
+//   - execution: a non-memory instruction completes one cycle after
+//     dispatch; a memory instruction completes after its hierarchy latency;
+//   - retire: in program order, at most RetireWidth per cycle, never before
+//     completion.
+//
+// Independent long-latency misses inside the ROB window therefore overlap
+// (memory-level parallelism), while a chain of misses wider than the
+// window serializes — the paper's premise that LLT and LLC misses "cannot
+// be hidden through memory-level parallelism of even large out-of-order
+// cores" emerges from the window running dry.
+package cpu
+
+import "fmt"
+
+// Config sizes the core.
+type Config struct {
+	// Width is the dispatch width in instructions per cycle.
+	Width int
+	// RetireWidth is the in-order retire width.
+	RetireWidth int
+	// ROB is the reorder-buffer capacity.
+	ROB int
+}
+
+// DefaultConfig models the 2.66 GHz OoO core of Table I: a 4-wide,
+// 192-entry-window machine.
+func DefaultConfig() Config {
+	return Config{Width: 4, RetireWidth: 4, ROB: 192}
+}
+
+// Core is the timing model. Times are in fractional cycles.
+type Core struct {
+	cfg Config
+
+	lastDispatch    float64
+	lastRetire      float64
+	lastMemComplete float64
+	retireRing      []float64 // retire time of the i-th most recent instrs
+	ringPos         int
+
+	instructions uint64
+	memOps       uint64
+	memLatSum    uint64
+}
+
+// New builds a core.
+func New(cfg Config) (*Core, error) {
+	if cfg.Width < 1 || cfg.RetireWidth < 1 || cfg.ROB < 1 {
+		return nil, fmt.Errorf("cpu: width/retire/ROB must be ≥ 1, got %+v", cfg)
+	}
+	return &Core{cfg: cfg, retireRing: make([]float64, cfg.ROB)}, nil
+}
+
+// MustNew is New that panics on bad configuration.
+func MustNew(cfg Config) *Core {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// step advances the model by one instruction with the given execution
+// latency (1 for non-memory work). minIssue delays execution start past
+// dispatch (data dependence on an earlier memory result); the returned
+// value is the instruction's completion time.
+func (c *Core) step(execLat, minIssue float64) float64 {
+	// ROB constraint: the slot being reused holds the retire time of
+	// the instruction ROB-size earlier.
+	robFree := c.retireRing[c.ringPos]
+	dispatch := c.lastDispatch + 1/float64(c.cfg.Width)
+	if robFree > dispatch {
+		dispatch = robFree
+	}
+	c.lastDispatch = dispatch
+
+	issue := dispatch
+	if minIssue > issue {
+		issue = minIssue
+	}
+	complete := issue + execLat
+	retire := c.lastRetire + 1/float64(c.cfg.RetireWidth)
+	if complete > retire {
+		retire = complete
+	}
+	c.lastRetire = retire
+	c.retireRing[c.ringPos] = retire
+	c.ringPos++
+	if c.ringPos == len(c.retireRing) {
+		c.ringPos = 0
+	}
+	c.instructions++
+	return complete
+}
+
+// Advance retires n non-memory instructions (each with unit latency).
+func (c *Core) Advance(n uint64) {
+	// Beyond a full window of plain ALU work the model is in steady
+	// state: both dispatch and retire advance at the narrower width.
+	// Process a window's worth exactly, then jump.
+	limit := uint64(2 * c.cfg.ROB)
+	if n > limit {
+		bulk := n - limit
+		rate := 1 / float64(minInt(c.cfg.Width, c.cfg.RetireWidth))
+		shift := float64(bulk) * rate
+		c.lastDispatch += shift
+		c.lastRetire += shift
+		for i := range c.retireRing {
+			c.retireRing[i] += shift
+		}
+		c.instructions += bulk
+		n = limit
+	}
+	for i := uint64(0); i < n; i++ {
+		c.step(1, 0)
+	}
+}
+
+// Memory retires one memory instruction with the given hierarchy latency.
+// When dependent is true the access cannot issue before the previous
+// memory instruction's result is available (a pointer chase), defeating
+// memory-level parallelism exactly as dependent misses do in hardware.
+func (c *Core) Memory(latency uint64, dependent bool) {
+	lat := float64(latency)
+	if lat < 1 {
+		lat = 1
+	}
+	var minIssue float64
+	if dependent {
+		minIssue = c.lastMemComplete
+	}
+	c.lastMemComplete = c.step(lat, minIssue)
+	c.memOps++
+	c.memLatSum += latency
+}
+
+// Cycles returns the current simulated time: the retire time of the last
+// instruction.
+func (c *Core) Cycles() float64 { return c.lastRetire }
+
+// Instructions returns the number of retired instructions.
+func (c *Core) Instructions() uint64 { return c.instructions }
+
+// MemOps returns the number of retired memory instructions.
+func (c *Core) MemOps() uint64 { return c.memOps }
+
+// AvgMemLatency returns the mean hierarchy latency over memory ops.
+func (c *Core) AvgMemLatency() float64 {
+	if c.memOps == 0 {
+		return 0
+	}
+	return float64(c.memLatSum) / float64(c.memOps)
+}
+
+// IPC returns retired instructions per cycle.
+func (c *Core) IPC() float64 {
+	if c.lastRetire == 0 {
+		return 0
+	}
+	return float64(c.instructions) / c.lastRetire
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

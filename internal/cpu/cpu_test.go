@@ -1,0 +1,218 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{Width: 0, RetireWidth: 4, ROB: 192},
+		{Width: 4, RetireWidth: 0, ROB: 192},
+		{Width: 4, RetireWidth: 4, ROB: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestALUStreamIPCEqualsWidth(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	c.Advance(100000)
+	if ipc := c.IPC(); math.Abs(ipc-4) > 0.01 {
+		t.Errorf("ALU-only IPC = %v, want ≈4", ipc)
+	}
+}
+
+func TestAdvanceBulkMatchesStepwise(t *testing.T) {
+	a := MustNew(DefaultConfig())
+	b := MustNew(DefaultConfig())
+	a.Advance(10000) // takes the bulk path
+	for i := 0; i < 10000; i++ {
+		b.Advance(1) // stepwise
+	}
+	if math.Abs(a.Cycles()-b.Cycles()) > 1.0 {
+		t.Errorf("bulk %v vs stepwise %v cycles", a.Cycles(), b.Cycles())
+	}
+	if a.Instructions() != b.Instructions() {
+		t.Errorf("instructions %d vs %d", a.Instructions(), b.Instructions())
+	}
+}
+
+func TestIndependentMissesOverlap(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	// 8 independent 200-cycle misses fit in one ROB window: total time
+	// should be ≈200 + dispatch slack, nowhere near 1600.
+	for i := 0; i < 8; i++ {
+		c.Memory(200, false)
+	}
+	if cy := c.Cycles(); cy > 250 {
+		t.Errorf("8 independent misses took %v cycles; MLP broken", cy)
+	}
+}
+
+func TestDependentMissesSerialize(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	for i := 0; i < 8; i++ {
+		c.Memory(200, true)
+	}
+	if cy := c.Cycles(); cy < 1600 {
+		t.Errorf("8 dependent misses took %v cycles; want ≥ 1600", cy)
+	}
+}
+
+func TestROBLimitsOverlap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ROB = 4
+	c := MustNew(cfg)
+	// With a 4-entry window, the 5th miss cannot dispatch until the 1st
+	// retires: 100 independent misses of 200 cycles serialize in groups.
+	for i := 0; i < 100; i++ {
+		c.Memory(200, false)
+	}
+	// ≈ (100/4) × 200 = 5000 cycles.
+	if cy := c.Cycles(); cy < 4000 {
+		t.Errorf("tiny-ROB misses took %v cycles; ROB constraint broken", cy)
+	}
+	big := MustNew(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		big.Memory(200, false)
+	}
+	if big.Cycles() >= c.Cycles() {
+		t.Error("larger ROB did not help independent misses")
+	}
+}
+
+func TestRetireWidthBound(t *testing.T) {
+	cfg := Config{Width: 8, RetireWidth: 2, ROB: 64}
+	c := MustNew(cfg)
+	c.Advance(10000)
+	if ipc := c.IPC(); ipc > 2.01 {
+		t.Errorf("IPC %v exceeds retire width 2", ipc)
+	}
+}
+
+func TestZeroLatencyMemoryClamped(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	c.Memory(0, false)
+	if c.Cycles() < 1 {
+		t.Error("zero-latency memory op took < 1 cycle")
+	}
+}
+
+func TestCountersAndAverages(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	c.Advance(10)
+	c.Memory(100, false)
+	c.Memory(300, true)
+	if c.Instructions() != 12 || c.MemOps() != 2 {
+		t.Errorf("instructions=%d memOps=%d", c.Instructions(), c.MemOps())
+	}
+	if avg := c.AvgMemLatency(); avg != 200 {
+		t.Errorf("AvgMemLatency = %v, want 200", avg)
+	}
+	empty := MustNew(DefaultConfig())
+	if empty.AvgMemLatency() != 0 || empty.IPC() != 0 {
+		t.Error("empty core should report zero averages")
+	}
+}
+
+// Property: cycles are monotone and instructions exact under any op mix.
+func TestMonotoneCyclesProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := MustNew(DefaultConfig())
+		var wantInstr uint64
+		prev := 0.0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				n := uint64(op%50) + 1
+				c.Advance(n)
+				wantInstr += n
+			case 1:
+				c.Memory(uint64(op%500), false)
+				wantInstr++
+			case 2:
+				c.Memory(uint64(op%500), true)
+				wantInstr++
+			}
+			if c.Cycles() < prev {
+				return false
+			}
+			prev = c.Cycles()
+		}
+		return c.Instructions() == wantInstr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: lower memory latency never hurts IPC for the same op sequence.
+func TestLatencyMonotonicityProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		fast := MustNew(DefaultConfig())
+		slow := MustNew(DefaultConfig())
+		for _, op := range ops {
+			gap := uint64(op % 7)
+			fast.Advance(gap)
+			slow.Advance(gap)
+			dep := op%2 == 0
+			fast.Memory(uint64(op), dep)
+			slow.Memory(uint64(op)*3+10, dep)
+		}
+		return fast.Cycles() <= slow.Cycles()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdvanceExactBulkBoundary(t *testing.T) {
+	cfg := DefaultConfig()
+	limit := uint64(2 * cfg.ROB)
+	a := MustNew(cfg)
+	b := MustNew(cfg)
+	a.Advance(limit)     // stepwise path exactly at the boundary
+	b.Advance(limit + 1) // first bulk step
+	if b.Instructions() != limit+1 {
+		t.Errorf("bulk path retired %d, want %d", b.Instructions(), limit+1)
+	}
+	if b.Cycles() < a.Cycles() {
+		t.Error("bulk path went backwards in time")
+	}
+}
+
+func TestAdvanceZeroIsNoop(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	c.Advance(0)
+	if c.Instructions() != 0 || c.Cycles() != 0 {
+		t.Errorf("Advance(0) changed state: %d instr, %v cycles",
+			c.Instructions(), c.Cycles())
+	}
+}
+
+func TestDependentChainAfterALUWork(t *testing.T) {
+	// Dependence must reference the previous MEMORY op, not just the
+	// previous instruction: ALU work between two dependent loads must
+	// not break the chain.
+	c := MustNew(DefaultConfig())
+	c.Memory(300, false)
+	c.Advance(10)
+	c.Memory(300, true)
+	if cy := c.Cycles(); cy < 600 {
+		t.Errorf("chain broken by interleaved ALU work: %v cycles, want ≥600", cy)
+	}
+}

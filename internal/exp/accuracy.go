@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"repro/internal/core"
+	"repro/internal/pred"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// withAccuracy returns a copy of the setup with mirror grading enabled.
+func withAccuracy(s Setup) Setup {
+	s.Name += "+acc"
+	s.Instrument.Accuracy = true
+	return s
+}
+
+// dpPredNoShadowSetup is dpPred−SH (Table VI): the shadow table disabled.
+func dpPredNoShadowSetup() Setup {
+	return Setup{
+		Name: "dpPred-SH",
+		TLB: func(s *sim.System) (pred.TLBPredictor, error) {
+			cfg := core.DefaultDPPredConfig(s.LLT().Entries())
+			cfg.ShadowEntries = 0
+			return core.NewDPPred(cfg)
+		},
+	}
+}
+
+// cbPredNoPFQSetup is cbPred−PF (Table VII): the PFN filter queue disabled,
+// so every block trains and consults bHIST.
+func cbPredNoPFQSetup() Setup {
+	return Setup{
+		Name: "dpPred+cbPred-PF",
+		TLB:  newDPPred,
+		LLC: func(s *sim.System) (pred.LLCPredictor, error) {
+			cfg := core.DefaultCBPredConfig(s.LLC().Capacity())
+			cfg.UsePFQ = false
+			return core.NewCBPred(cfg)
+		},
+	}
+}
+
+// accuracySeries builds an accuracy/coverage grid from a list of setups,
+// reading either the LLT-side or LLC-side grading.
+func (r *Runner) accuracySeries(id, title string, setups []Setup, names []string, llcSide bool) (Series, error) {
+	s := Series{
+		ID:    id,
+		Title: title,
+		Unit:  "%",
+	}
+	for _, n := range names {
+		s.Cols = append(s.Cols, n+" Acc", n+" Cov")
+	}
+	for _, w := range trace.Workloads() {
+		row := SeriesRow{Name: w.Name}
+		for _, su := range setups {
+			res, err := r.Run(w, withAccuracy(su))
+			if err != nil {
+				return Series{}, err
+			}
+			acc := res.LLTAccuracy
+			if llcSide {
+				acc = res.LLCAccuracy
+			}
+			row.Values = append(row.Values, 100*acc.Accuracy(), 100*acc.Coverage())
+		}
+		s.Rows = append(s.Rows, row)
+	}
+	s.summarize("mean", mean)
+	return s, nil
+}
+
+// Table6 grades the dead-page predictors: dpPred, dpPred−SH and SHiP-TLB.
+func Table6(r *Runner) (Series, error) {
+	return r.accuracySeries("Table VI",
+		"Accuracy, coverage for dead page predictors",
+		[]Setup{DPPredSetup(), dpPredNoShadowSetup(), SHiPTLBSetup()},
+		[]string{"dpPred", "dpPred-SH", "SHiP-TLB"},
+		false)
+}
+
+// Table7 grades the dead-block predictors: cbPred, cbPred−PF and SHiP-LLC.
+func Table7(r *Runner) (Series, error) {
+	return r.accuracySeries("Table VII",
+		"Accuracy, coverage for dead block predictors",
+		[]Setup{DPPredCBPredSetup(), cbPredNoPFQSetup(), SHiPLLCSetup()},
+		[]string{"cbPred", "cbPred-PF", "SHiP-LLC"},
+		true)
+}

@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// characterizationSetup is the baseline machine with samplers enabled; one
+// run per workload feeds Figures 1–4 and Table III.
+func characterizationSetup() Setup {
+	s := Baseline()
+	s.Name = "characterize"
+	s.Instrument.Characterize = true
+	return s
+}
+
+// characterize runs (memoized) the characterization pass for a workload.
+func (r *Runner) characterize(w trace.Workload) (sim.Result, error) {
+	return r.Run(w, characterizationSetup())
+}
+
+// Figure1 reports the fraction of LLT entries dead or DOA at any time
+// (sampled residency view).
+func Figure1(r *Runner) (Series, error) {
+	s := Series{
+		ID:    "Figure 1",
+		Title: "Fraction of LLT entries dead or DOA at any time",
+		Unit:  "% of sampled LLT entries",
+		Cols:  []string{"Dead", "DOA"},
+	}
+	for _, w := range trace.Workloads() {
+		res, err := r.characterize(w)
+		if err != nil {
+			return Series{}, err
+		}
+		d := res.LLTDead
+		s.Rows = append(s.Rows, SeriesRow{Name: w.Name, Values: []float64{
+			100 * d.SampledDeadFrac(),
+			100 * d.SampledDOAFrac(),
+		}})
+	}
+	s.summarize("mean", mean)
+	return s, nil
+}
+
+// Figure2 classifies LLT evictions into mostly-dead and DOA.
+func Figure2(r *Runner) (Series, error) {
+	s := Series{
+		ID:    "Figure 2",
+		Title: "Classification of dead pages in LLT (at eviction)",
+		Unit:  "% of LLT evictions",
+		Cols:  []string{"MostlyDead", "DOA", "TotalDead"},
+	}
+	for _, w := range trace.Workloads() {
+		res, err := r.characterize(w)
+		if err != nil {
+			return Series{}, err
+		}
+		d := res.LLTDead
+		s.Rows = append(s.Rows, SeriesRow{Name: w.Name, Values: []float64{
+			100 * d.MostlyDeadFrac(),
+			100 * d.DOAFrac(),
+			100 * d.DeadFrac(),
+		}})
+	}
+	s.summarize("mean", mean)
+	return s, nil
+}
+
+// Figure3 reports the fraction of LLC entries dead or DOA at any time.
+func Figure3(r *Runner) (Series, error) {
+	s := Series{
+		ID:    "Figure 3",
+		Title: "Fraction of LLC entries dead or DOA at any time",
+		Unit:  "% of sampled LLC blocks",
+		Cols:  []string{"Dead", "DOA"},
+	}
+	for _, w := range trace.Workloads() {
+		res, err := r.characterize(w)
+		if err != nil {
+			return Series{}, err
+		}
+		d := res.LLCDead
+		s.Rows = append(s.Rows, SeriesRow{Name: w.Name, Values: []float64{
+			100 * d.SampledDeadFrac(),
+			100 * d.SampledDOAFrac(),
+		}})
+	}
+	s.summarize("mean", mean)
+	return s, nil
+}
+
+// Figure4 classifies LLC evictions into mostly-dead and DOA.
+func Figure4(r *Runner) (Series, error) {
+	s := Series{
+		ID:    "Figure 4",
+		Title: "Classification of dead blocks in LLC (at eviction)",
+		Unit:  "% of LLC evictions",
+		Cols:  []string{"MostlyDead", "DOA", "TotalDead"},
+	}
+	for _, w := range trace.Workloads() {
+		res, err := r.characterize(w)
+		if err != nil {
+			return Series{}, err
+		}
+		d := res.LLCDead
+		s.Rows = append(s.Rows, SeriesRow{Name: w.Name, Values: []float64{
+			100 * d.MostlyDeadFrac(),
+			100 * d.DOAFrac(),
+			100 * d.DeadFrac(),
+		}})
+	}
+	s.summarize("mean", mean)
+	return s, nil
+}
+
+// Table3 reports the percentage of LLC DOA blocks that map onto a DOA page
+// in the LLT.
+func Table3(r *Runner) (Series, error) {
+	s := Series{
+		ID:    "Table III",
+		Title: "Percentage of LLC DOA blocks that map on to a DOA page in LLT",
+		Unit:  "% of LLC DOA blocks",
+		Cols:  []string{"OnDOAPage"},
+	}
+	for _, w := range trace.Workloads() {
+		res, err := r.characterize(w)
+		if err != nil {
+			return Series{}, err
+		}
+		s.Rows = append(s.Rows, SeriesRow{Name: w.Name,
+			Values: []float64{res.Correlation.Percent()}})
+	}
+	s.summarize("mean", mean)
+	return s, nil
+}

@@ -1,0 +1,283 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// quickRunner shares one memoized runner across the package's tests so the
+// baseline simulations run once.
+var quickRunner = NewRunner(QuickParams())
+
+func TestRunMemoizes(t *testing.T) {
+	r := NewRunner(QuickParams())
+	calls := 0
+	r.Progress = func(string, string) { calls++ }
+	w, err := trace.ByName("cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(w, Baseline()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(w, Baseline()); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("baseline simulated %d times, want 1 (memoized)", calls)
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	s, err := Figure1(quickRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 14 || len(s.Cols) != 2 {
+		t.Fatalf("grid is %dx%d, want 14x2", len(s.Rows), len(s.Cols))
+	}
+	// Paper: on average ~82% of LLT entries dead at any time, DOA
+	// dominating. Accept a loose band for the quick configuration.
+	if dead := s.Summary[0]; dead < 50 {
+		t.Errorf("mean sampled dead fraction %.1f%%; paper ≈82%%", dead)
+	}
+	if doa, dead := s.Summary[1], s.Summary[0]; doa < dead/2 {
+		t.Errorf("DOA %.1f%% not dominant within dead %.1f%%", doa, dead)
+	}
+}
+
+func TestFigure2DOADominates(t *testing.T) {
+	s, err := Figure2(quickRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: >85% of dead evictions are DOA on average.
+	if doa, total := s.Summary[1], s.Summary[2]; doa < total*0.6 {
+		t.Errorf("mean DOA %.1f%% of evictions vs total dead %.1f%%; DOA should dominate", doa, total)
+	}
+}
+
+func TestTable3CorrelationPresent(t *testing.T) {
+	s, err := Table3(quickRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 72.7% of DOA blocks on DOA pages, on average; demand ≥ 50%.
+	if s.Summary[0] < 50 {
+		t.Errorf("mean DOA-block-on-DOA-page %.1f%%; paper ≈72.7%%", s.Summary[0])
+	}
+}
+
+func TestFigure9DPPredWins(t *testing.T) {
+	s, err := Figure9(quickRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cols) != 4 {
+		t.Fatalf("Figure 9 has %d columns, want 4", len(s.Cols))
+	}
+	// Columns: AIP-TLB, SHiP-TLB, dpPred, iso-storage.
+	aip, _, dp, iso := s.Summary[0], s.Summary[1], s.Summary[2], s.Summary[3]
+	if dp <= 1.01 {
+		t.Errorf("dpPred geomean normalized IPC %.4f; paper reports ≈1.05", dp)
+	}
+	if dp < aip {
+		t.Errorf("AIP-TLB geomean %.4f beats dpPred %.4f; paper has AIP ≈ baseline", aip, dp)
+	}
+	if dp < iso {
+		t.Errorf("iso-storage geomean %.4f beats dpPred %.4f", iso, dp)
+	}
+	// AIP-TLB must be close to the baseline (the paper's point: cache
+	// dead-block predictors target non-DOA entries and do nothing for
+	// the LLT).
+	if aip < 0.98 || aip > 1.03 {
+		t.Errorf("AIP-TLB geomean %.4f; expected ≈1.00", aip)
+	}
+	// dpPred must never significantly regress any workload.
+	for _, row := range s.Rows {
+		if row.Values[2] < 0.97 {
+			t.Errorf("%s: dpPred normalized IPC %.4f < 0.97", row.Name, row.Values[2])
+		}
+	}
+}
+
+func TestTable4OracleBeatsDPPred(t *testing.T) {
+	s, err := Table4(quickRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, oracle := s.Summary[2], s.Summary[4]
+	if oracle < dp {
+		t.Errorf("oracle mean MPKI reduction %.2f%% < dpPred %.2f%%", oracle, dp)
+	}
+	if dp <= 0 {
+		t.Errorf("dpPred mean LLT MPKI reduction %.2f%% not positive", dp)
+	}
+}
+
+func TestFigure10FullProposalWins(t *testing.T) {
+	s, err := Figure10(quickRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cols) != 5 {
+		t.Fatalf("Figure 10 has %d columns, want 5", len(s.Cols))
+	}
+	// Columns: AIP-LLC, SHiP-LLC, AIP-TLB+LLC, SHiP-TLB+LLC, dpPred+cbPred.
+	both := s.Summary[4]
+	if both <= 1.02 {
+		t.Errorf("dpPred+cbPred geomean %.4f; paper reports ≈1.083", both)
+	}
+	for _, i := range []int{0, 2} { // the AIP columns
+		if s.Summary[i] > both {
+			t.Errorf("%s geomean %.4f beats dpPred+cbPred %.4f", s.Cols[i], s.Summary[i], both)
+		}
+	}
+	// The paper's key consistency claim: the proposal never loses
+	// significantly on any workload, while at least one baseline does.
+	baselineRegressed := false
+	for _, row := range s.Rows {
+		if row.Values[4] < 0.97 {
+			t.Errorf("%s: dpPred+cbPred normalized IPC %.4f < 0.97 (must not regress)",
+				row.Name, row.Values[4])
+		}
+		for i := 0; i < 4; i++ {
+			if row.Values[i] < 0.97 {
+				baselineRegressed = true
+			}
+		}
+	}
+	if !baselineRegressed {
+		t.Error("no baseline predictor regressed anywhere; the paper's consistency contrast is missing")
+	}
+}
+
+func TestTable6ShadowImprovesAccuracy(t *testing.T) {
+	s, err := Table6(quickRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: dpPred Acc, dpPred Cov, dpPred-SH Acc, dpPred-SH Cov,
+	// SHiP Acc, SHiP Cov.
+	dpAcc, shAcc := s.Summary[0], s.Summary[2]
+	if dpAcc+2 < shAcc {
+		t.Errorf("shadow table hurt accuracy: dpPred %.1f%% vs -SH %.1f%%", dpAcc, shAcc)
+	}
+	if dpAcc < 60 {
+		t.Errorf("dpPred mean accuracy %.1f%%; paper ≈83.6%%", dpAcc)
+	}
+}
+
+func TestTable7PFQBoostsAccuracy(t *testing.T) {
+	s, err := Table7(quickRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbAcc, noPFQAcc := s.Summary[0], s.Summary[2]
+	if cbAcc < 90 {
+		t.Errorf("cbPred mean accuracy %.1f%%; paper ≥98%%", cbAcc)
+	}
+	if cbAcc < noPFQAcc {
+		t.Errorf("PFQ filter did not improve accuracy: %.1f%% vs %.1f%%", cbAcc, noPFQAcc)
+	}
+}
+
+func TestStorageOverheads(t *testing.T) {
+	rep, err := StorageOverheads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, row := range rep.Rows {
+		byName[row.Name] = row.KB()
+	}
+	total := byName["dpPred+cbPred total"]
+	if total < 10.5 || total > 11.2 {
+		t.Errorf("total storage %.2f KB; paper says ≈10.81 KB", total)
+	}
+	if aip := byName["AIP (LLT+LLC)"]; aip < 6*total {
+		t.Errorf("AIP %.1f KB not ≥6× the proposal %.1f KB", aip, total)
+	}
+	if ship := byName["SHiP (LLT+LLC)"]; ship < 4*total {
+		t.Errorf("SHiP %.1f KB not several× the proposal %.1f KB", ship, total)
+	}
+	if !strings.Contains(rep.Format(), "dpPred") {
+		t.Error("Format output missing rows")
+	}
+}
+
+func TestSeriesFormat(t *testing.T) {
+	s := Series{
+		ID: "Figure X", Title: "demo", Unit: "u",
+		Cols: []string{"a", "b"},
+		Rows: []SeriesRow{{Name: "w1", Values: []float64{1.234, 56.78}}},
+	}
+	s.summarize("mean", mean)
+	out := s.Format()
+	for _, want := range []string{"Figure X", "workload", "w1", "1.234", "56.78", "mean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGeomeanAndMean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g != 4 {
+		t.Errorf("geomean(2,8) = %v, want 4", g)
+	}
+	if m := mean([]float64{1, 3}); m != 2 {
+		t.Errorf("mean(1,3) = %v, want 2", m)
+	}
+	if pct := pctReduction(10, 9); pct != 10 {
+		t.Errorf("pctReduction(10,9) = %v, want 10", pct)
+	}
+	if pct := pctReduction(0, 5); pct != 0 {
+		t.Errorf("pctReduction(0,5) = %v, want 0", pct)
+	}
+}
+
+func TestFormatHandlesNaN(t *testing.T) {
+	s := Series{
+		ID: "X", Title: "nan demo", Cols: []string{"a"},
+		Rows: []SeriesRow{{Name: "w", Values: []float64{math.NaN()}}},
+	}
+	out := s.Format()
+	if !strings.Contains(out, "-") {
+		t.Errorf("NaN cell not rendered as dash:\n%s", out)
+	}
+}
+
+func TestGeomeanRejectsNonPositive(t *testing.T) {
+	if !math.IsNaN(geomean([]float64{1, 0})) {
+		t.Error("geomean with zero should be NaN")
+	}
+	if !math.IsNaN(geomean(nil)) {
+		t.Error("geomean of nothing should be NaN")
+	}
+	if !math.IsNaN(mean(nil)) {
+		t.Error("mean of nothing should be NaN")
+	}
+}
+
+func TestFormatCellWidths(t *testing.T) {
+	cases := map[float64]string{
+		123.456: "123.5",
+		12.345:  "12.35",
+		1.2345:  "1.234",
+	}
+	for v, want := range cases {
+		if got := formatCell(v); got != want {
+			t.Errorf("formatCell(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestRunnerParamsExposed(t *testing.T) {
+	p := Params{Warmup: 1, Measure: 2, Seed: 3, SampleEvery: 4}
+	if got := NewRunner(p).Params(); got != p {
+		t.Errorf("Params() = %+v, want %+v", got, p)
+	}
+}

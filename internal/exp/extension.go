@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"repro/internal/policy"
+	"repro/internal/pred"
+	"repro/internal/sim"
+)
+
+// newDIPPolicy returns a fresh DIP instance; DIP carries shared per-
+// structure dueling state, so each configured cache needs its own value.
+func newDIPPolicy() policy.Policy { return policy.NewDIP() }
+
+// ExtensionPrefetch compares the bypass approach (dpPred) with classic
+// distance-based TLB prefetching (Kandiraju & Sivasubramaniam, discussed
+// in §VII) and with their combination. The paper argues bypassing is
+// complementary to prefetching; this extension experiment quantifies that
+// on the same workloads: prefetching attacks *predictable* miss sequences
+// (strides, repeating deltas) while bypassing protects resident reuse, so
+// the combination should dominate either alone on stride-heavy workloads
+// and fall back to dpPred's behaviour on irregular ones.
+func ExtensionPrefetch(r *Runner) (Series, error) {
+	prefetchSetup := Setup{
+		Name: "distance-prefetch",
+		Prefetch: func(s *sim.System) (pred.TLBPrefetcher, error) {
+			return pred.NewDistancePrefetcher(pred.DefaultDistancePrefetcherConfig())
+		},
+	}
+	combinedSetup := Setup{
+		Name: "dpPred+prefetch",
+		TLB:  newDPPred,
+		Prefetch: func(s *sim.System) (pred.TLBPrefetcher, error) {
+			return pred.NewDistancePrefetcher(pred.DefaultDistancePrefetcherConfig())
+		},
+	}
+	s, err := r.ipcSeries("Extension A",
+		"dpPred vs distance-based TLB prefetching (related work, §VII)",
+		Baseline(),
+		[]Setup{DPPredSetup(), prefetchSetup, combinedSetup})
+	if err != nil {
+		return Series{}, err
+	}
+	s.Cols = []string{"dpPred", "distance-prefetch", "dpPred+prefetch"}
+	return s, nil
+}
+
+// ExtensionDIP compares dpPred against the thrash-resistant Dynamic
+// Insertion Policy (Qureshi et al., cited in §VII) applied to the LLT, and
+// dpPred layered on top of a DIP-managed LLT. DIP resists streaming
+// pollution without knowing which entries are dead; dpPred adds the
+// dead-entry knowledge.
+func ExtensionDIP(r *Runner) (Series, error) {
+	dipConfig := func() sim.Config {
+		cfg := sim.DefaultConfig()
+		cfg.LLT.Policy = newDIPPolicy()
+		return cfg
+	}
+	s, err := r.ipcSeries("Extension B",
+		"dpPred vs a DIP-managed LLT",
+		Baseline(),
+		[]Setup{
+			DPPredSetup(),
+			{Name: "DIP-LLT", Config: dipConfig},
+			{Name: "DIP+dpPred", Config: dipConfig, TLB: newDPPred},
+		})
+	if err != nil {
+		return Series{}, err
+	}
+	s.Cols = []string{"dpPred", "DIP-LLT", "DIP+dpPred"}
+	return s, nil
+}

@@ -1,0 +1,276 @@
+// Package exp reproduces the paper's evaluation: every figure and table of
+// §IV and §VI is a function returning a structured result that cmd/paperexp
+// prints in the paper's layout and bench_test.go regenerates under `go
+// test -bench`. See DESIGN.md §5 for the experiment index.
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pred"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Params sets the simulation lengths shared by all experiments.
+type Params struct {
+	// Warmup is the number of accesses run before measurement.
+	Warmup uint64
+	// Measure is the number of measured accesses.
+	Measure uint64
+	// Seed feeds the workload generators and frame allocator.
+	Seed uint64
+	// SampleEvery is the residency-sampling cadence for the
+	// characterization experiments.
+	SampleEvery uint64
+}
+
+// DefaultParams balances fidelity and runtime: the full paper evaluation
+// runs in minutes on a laptop-class machine.
+func DefaultParams() Params {
+	return Params{Warmup: 300_000, Measure: 1_000_000, Seed: 1, SampleEvery: 20_000}
+}
+
+// QuickParams is a faster configuration for tests and demos: long enough
+// for the predictors' saturating counters to train, short enough that the
+// full grid runs in a few minutes.
+func QuickParams() Params {
+	return Params{Warmup: 150_000, Measure: 400_000, Seed: 1, SampleEvery: 10_000}
+}
+
+// Setup names a machine + predictor combination.
+type Setup struct {
+	// Name identifies the setup in reports ("dpPred", "SHiP-TLB", ...).
+	Name string
+	// Config builds the machine configuration (nil means Table I).
+	Config func() sim.Config
+	// TLB and LLC construct the predictors once the system exists
+	// (predictors like AIP need the built structures); nil means none.
+	TLB func(s *sim.System) (pred.TLBPredictor, error)
+	LLC func(s *sim.System) (pred.LLCPredictor, error)
+	// Prefetch constructs an optional TLB prefetcher (extension
+	// experiments).
+	Prefetch func(s *sim.System) (pred.TLBPrefetcher, error)
+	// Oracle runs the two-pass record/replay protocol of §VI-A.
+	Oracle bool
+	// Instrument enables the requested instrumentation before
+	// measurement.
+	Instrument Instrumentation
+}
+
+// Instrumentation selects measurement machinery.
+type Instrumentation struct {
+	// Accuracy enables the §VI-C mirror-structure grading.
+	Accuracy bool
+	// Characterize enables the §IV samplers and Table III correlation.
+	Characterize bool
+}
+
+// Runner executes setups against workloads, memoizing results so that
+// experiments sharing a configuration (e.g. the baseline) simulate once.
+type Runner struct {
+	params Params
+	memo   map[string]sim.Result
+	// Progress, when set, receives a line per simulation run.
+	Progress func(workload, setup string)
+}
+
+// NewRunner creates a runner with the given parameters.
+func NewRunner(p Params) *Runner {
+	return &Runner{params: p, memo: make(map[string]sim.Result)}
+}
+
+// Params returns the runner's parameters.
+func (r *Runner) Params() Params { return r.params }
+
+// Run simulates one workload under one setup (memoized).
+func (r *Runner) Run(w trace.Workload, setup Setup) (sim.Result, error) {
+	key := w.Name + "/" + setup.Name
+	if res, ok := r.memo[key]; ok {
+		return res, nil
+	}
+	if r.Progress != nil {
+		r.Progress(w.Name, setup.Name)
+	}
+	res, err := r.runUncached(w, setup)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("exp: %s under %s: %w", w.Name, setup.Name, err)
+	}
+	r.memo[key] = res
+	return res, nil
+}
+
+func (r *Runner) runUncached(w trace.Workload, setup Setup) (sim.Result, error) {
+	cfgFn := setup.Config
+	if cfgFn == nil {
+		cfgFn = sim.DefaultConfig
+	}
+
+	var record *pred.DOARecord
+	if setup.Oracle {
+		// Recording pass: baseline machine, ground-truth capture.
+		rec, err := r.recordPass(w, cfgFn)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		record = rec
+	}
+
+	cfg := cfgFn()
+	cfg.Seed = r.params.Seed
+	s, err := sim.New(cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if setup.Oracle {
+		s.SetTLBPredictor(pred.NewOracleTLB(record))
+	} else if setup.TLB != nil {
+		p, err := setup.TLB(s)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		s.SetTLBPredictor(p)
+	}
+	if setup.LLC != nil {
+		p, err := setup.LLC(s)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		s.SetLLCPredictor(p)
+	}
+	if setup.Prefetch != nil {
+		p, err := setup.Prefetch(s)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		s.SetTLBPrefetcher(p)
+	}
+
+	g := w.New(r.params.Seed)
+	if err := s.Run(g, r.params.Warmup); err != nil {
+		return sim.Result{}, err
+	}
+	if setup.Instrument.Accuracy {
+		if err := s.EnableAccuracyTracking(); err != nil {
+			return sim.Result{}, err
+		}
+	}
+	if setup.Instrument.Characterize {
+		s.EnableCharacterization(r.params.SampleEvery)
+	}
+	s.StartMeasurement()
+	if err := s.Run(g, r.params.Measure); err != nil {
+		return sim.Result{}, err
+	}
+	s.Finish()
+	return s.Result(), nil
+}
+
+// recordPass runs the baseline machine over the same trace to capture
+// ground-truth DOA outcomes for the oracle.
+func (r *Runner) recordPass(w trace.Workload, cfgFn func() sim.Config) (*pred.DOARecord, error) {
+	cfg := cfgFn()
+	cfg.Seed = r.params.Seed
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rec := pred.NewDOARecord()
+	s.SetTLBPredictor(pred.NewRecorderTLB(rec))
+	g := w.New(r.params.Seed)
+	if err := s.Run(g, r.params.Warmup+r.params.Measure); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// --- Standard setups -----------------------------------------------------
+
+// Baseline is the unmodified Table I machine.
+func Baseline() Setup { return Setup{Name: "baseline"} }
+
+// DPPredSetup runs dpPred on the LLT.
+func DPPredSetup() Setup {
+	return Setup{Name: "dpPred", TLB: newDPPred}
+}
+
+// DPPredCBPredSetup runs the paper's full proposal: dpPred + cbPred.
+func DPPredCBPredSetup() Setup {
+	return Setup{Name: "dpPred+cbPred", TLB: newDPPred, LLC: newCBPred}
+}
+
+// AIPTLBSetup applies AIP to the LLT (§VI-A).
+func AIPTLBSetup() Setup {
+	return Setup{Name: "AIP-TLB", TLB: newAIPTLB}
+}
+
+// SHiPTLBSetup applies SHiP to the LLT (§VI-A).
+func SHiPTLBSetup() Setup {
+	return Setup{Name: "SHiP-TLB", TLB: newSHiPTLB}
+}
+
+// AIPLLCSetup applies AIP to the LLC (§VI-B).
+func AIPLLCSetup() Setup {
+	return Setup{Name: "AIP-LLC", LLC: newAIPLLC}
+}
+
+// SHiPLLCSetup applies SHiP to the LLC (§VI-B).
+func SHiPLLCSetup() Setup {
+	return Setup{Name: "SHiP-LLC", LLC: newSHiPLLC}
+}
+
+// AIPBothSetup applies AIP to both the LLT and the LLC.
+func AIPBothSetup() Setup {
+	return Setup{Name: "AIP-TLB+LLC", TLB: newAIPTLB, LLC: newAIPLLC}
+}
+
+// SHiPBothSetup applies SHiP to both the LLT and the LLC.
+func SHiPBothSetup() Setup {
+	return Setup{Name: "SHiP-TLB+LLC", TLB: newSHiPTLB, LLC: newSHiPLLC}
+}
+
+// IsoStorageSetup grows the LLT by roughly dpPred's storage overhead
+// (≈11%, §VI-A): one extra way, 1024 → 1152 entries.
+func IsoStorageSetup() Setup {
+	return Setup{
+		Name: "iso-storage",
+		Config: func() sim.Config {
+			cfg := sim.DefaultConfig()
+			cfg.LLT.Entries = 1152
+			cfg.LLT.Ways = 9
+			return cfg
+		},
+	}
+}
+
+// OracleSetup is the two-pass approximate oracle of §VI-A.
+func OracleSetup() Setup {
+	return Setup{Name: "oracle", Oracle: true}
+}
+
+// --- Predictor constructors ----------------------------------------------
+
+func newDPPred(s *sim.System) (pred.TLBPredictor, error) {
+	return core.NewDPPred(core.DefaultDPPredConfig(s.LLT().Entries()))
+}
+
+func newCBPred(s *sim.System) (pred.LLCPredictor, error) {
+	return core.NewCBPred(core.DefaultCBPredConfig(s.LLC().Capacity()))
+}
+
+func newAIPTLB(s *sim.System) (pred.TLBPredictor, error) {
+	return pred.NewAIPTLB(pred.DefaultAIPTLBConfig(s.LLT().Entries()), s.LLT().Inner())
+}
+
+func newSHiPTLB(s *sim.System) (pred.TLBPredictor, error) {
+	return pred.NewSHiPTLB(pred.DefaultSHiPTLBConfig(s.LLT().Entries()))
+}
+
+func newAIPLLC(s *sim.System) (pred.LLCPredictor, error) {
+	return pred.NewAIPLLC(pred.DefaultAIPLLCConfig(s.LLC().Capacity()), s.LLC())
+}
+
+func newSHiPLLC(s *sim.System) (pred.LLCPredictor, error) {
+	return pred.NewSHiPLLC(pred.DefaultSHiPLLCConfig(s.LLC().Capacity()))
+}

@@ -1,0 +1,236 @@
+// Package pagetable implements the four-level radix page table the paper
+// adds to its simulator (§III): "we allocate a four-level radix tree data
+// structure as the page table. The page table contents are cached on the
+// processor caches as in the real hardware."
+//
+// The table maps 36-bit VPNs through four levels of 512-entry nodes
+// (PML4 → PDPT → PD → PT). Every node occupies a physical frame obtained
+// from the same frame allocator that backs application pages, so page-walk
+// accesses compete for cache capacity with application data exactly as on
+// real hardware. Translations are created on first touch (demand paging
+// with a zero-cost soft page fault, matching the paper's methodology of
+// simulating whole applications after their working sets are mapped).
+package pagetable
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// AllocPolicy selects how the frame allocator assigns physical frames.
+type AllocPolicy int
+
+const (
+	// AllocScrambled assigns frames in a pseudo-random (but
+	// deterministic) order, modelling a long-running OS whose free list
+	// is fragmented. This is the default: it decorrelates virtual and
+	// physical locality, which matters for LLC set indexing.
+	AllocScrambled AllocPolicy = iota
+	// AllocSequential assigns frames in ascending order, modelling a
+	// freshly booted machine with perfect contiguity.
+	AllocSequential
+)
+
+// Allocator hands out physical frames deterministically.
+type Allocator struct {
+	policy AllocPolicy
+	next   uint64
+	seed   uint64
+	limit  uint64
+}
+
+// NewAllocator builds an allocator for a physical memory of the given
+// number of frames. The seed perturbs the scrambled ordering.
+func NewAllocator(frames uint64, policy AllocPolicy, seed uint64) (*Allocator, error) {
+	if frames == 0 {
+		return nil, fmt.Errorf("pagetable: allocator needs at least one frame")
+	}
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Allocator{policy: policy, seed: seed, limit: frames}, nil
+}
+
+// Alloc returns the next free frame. It fails only when physical memory is
+// exhausted.
+func (a *Allocator) Alloc() (arch.PFN, error) {
+	if a.next >= a.limit {
+		return 0, fmt.Errorf("pagetable: out of physical memory (%d frames)", a.limit)
+	}
+	n := a.next
+	a.next++
+	if a.policy == AllocSequential {
+		return arch.PFN(n), nil
+	}
+	return arch.PFN(a.scramble(n)), nil
+}
+
+// Allocated returns how many frames have been handed out.
+func (a *Allocator) Allocated() uint64 { return a.next }
+
+// scramble maps the counter through a bijection on [0, limit): a balanced
+// Feistel network over the smallest even-width power-of-two domain covering
+// limit, with cycle walking for out-of-range intermediate values (the
+// standard format-preserving-permutation construction). Distinct counters
+// therefore always receive distinct frames.
+func (a *Allocator) scramble(n uint64) uint64 {
+	bits := uint(2) // even, ≥ 2
+	for uint64(1)<<bits < a.limit {
+		bits += 2
+	}
+	v := n
+	for {
+		v = feistel(v, bits, a.seed)
+		if v < a.limit {
+			return v
+		}
+	}
+}
+
+// feistel is a 4-round balanced Feistel permutation on [0, 2^bits); bits
+// must be even.
+func feistel(v uint64, bits uint, seed uint64) uint64 {
+	half := bits / 2
+	hmask := uint64(1)<<half - 1
+	l, r := v>>half, v&hmask
+	for round := uint64(0); round < 4; round++ {
+		l, r = r, l^(mix(r+seed+round)&hmask)
+	}
+	return l<<half | r
+}
+
+// mix is a 64-bit finalizer (splitmix64-style) used as the Feistel round
+// function.
+func mix(v uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}
+
+// node is one radix-tree node. Its frame is where the 512 PTEs live in
+// simulated physical memory; children/leaves hold the next level.
+type node struct {
+	frame    arch.PFN
+	children map[uint64]*node    // interior levels
+	leaves   map[uint64]arch.PFN // leaf level only
+}
+
+// PageTable is a four-level radix page table plus the frame allocator.
+type PageTable struct {
+	alloc *Allocator
+	root  *node
+
+	mappedPages uint64
+	tableNodes  uint64
+}
+
+// New creates an empty page table backed by the allocator.
+func New(alloc *Allocator) (*PageTable, error) {
+	if alloc == nil {
+		return nil, fmt.Errorf("pagetable: nil allocator")
+	}
+	rootFrame, err := alloc.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	return &PageTable{
+		alloc:      alloc,
+		root:       &node{frame: rootFrame, children: make(map[uint64]*node)},
+		tableNodes: 1,
+	}, nil
+}
+
+// Step is one page-table access of a walk: the level it reads (0 = PML4,
+// 3 = PT) and the physical address of the PTE, which the walker sends
+// through the data-cache hierarchy.
+type Step struct {
+	Level   int
+	PTEAddr arch.PAddr
+}
+
+// Translate maps vpn to its frame, allocating the mapping (and any missing
+// radix nodes) on first touch. steps receives the full four-level walk for
+// this VPN — the walker truncates it according to its page-walk-cache hits.
+// The steps slice is appended to dst to let callers reuse storage.
+func (pt *PageTable) Translate(vpn arch.VPN, dst []Step) (arch.PFN, []Step, error) {
+	n := pt.root
+	for level := 0; level < arch.RadixLevels; level++ {
+		idx := vpn.RadixIndex(level)
+		dst = append(dst, Step{
+			Level:   level,
+			PTEAddr: n.frame.Addr() + arch.PAddr(idx*arch.PTESize),
+		})
+		if level == arch.RadixLevels-1 {
+			pfn, ok := n.leaves[idx]
+			if !ok {
+				var err error
+				pfn, err = pt.alloc.Alloc()
+				if err != nil {
+					return 0, dst, err
+				}
+				n.leaves[idx] = pfn
+				pt.mappedPages++
+			}
+			return pfn, dst, nil
+		}
+		child, ok := n.children[idx]
+		if !ok {
+			frame, err := pt.alloc.Alloc()
+			if err != nil {
+				return 0, dst, err
+			}
+			child = &node{frame: frame}
+			if level == arch.RadixLevels-2 {
+				child.leaves = make(map[uint64]arch.PFN)
+			} else {
+				child.children = make(map[uint64]*node)
+			}
+			n.children[idx] = child
+			pt.tableNodes++
+		}
+		n = child
+	}
+	panic("unreachable")
+}
+
+// TranslateIfMapped returns the frame for vpn only if a mapping already
+// exists; it never allocates. TLB prefetchers use it so that speculative
+// translations do not fault in new pages.
+func (pt *PageTable) TranslateIfMapped(vpn arch.VPN) (arch.PFN, bool) {
+	n := pt.root
+	for level := 0; level < arch.RadixLevels-1; level++ {
+		child, ok := n.children[vpn.RadixIndex(level)]
+		if !ok {
+			return 0, false
+		}
+		n = child
+	}
+	pfn, ok := n.leaves[vpn.RadixIndex(arch.RadixLevels-1)]
+	return pfn, ok
+}
+
+// NodeFrame returns the frame of the radix node reached after consuming
+// `levels` levels of the walk for vpn (0 returns the root's frame). It
+// reports ok=false when the path does not exist yet; the walker uses this
+// to validate page-walk-cache contents.
+func (pt *PageTable) NodeFrame(vpn arch.VPN, levels int) (arch.PFN, bool) {
+	n := pt.root
+	for l := 0; l < levels; l++ {
+		child, ok := n.children[vpn.RadixIndex(l)]
+		if !ok {
+			return 0, false
+		}
+		n = child
+	}
+	return n.frame, true
+}
+
+// MappedPages returns how many leaf translations exist.
+func (pt *PageTable) MappedPages() uint64 { return pt.mappedPages }
+
+// TableNodes returns how many radix nodes (including the root) exist.
+func (pt *PageTable) TableNodes() uint64 { return pt.tableNodes }

@@ -1,0 +1,125 @@
+package policy
+
+// DIP implements the Dynamic Insertion Policy of Qureshi et al. (ISCA
+// 2007), which the paper cites among prior LLC-management work (§VII). DIP
+// duels LRU insertion against bimodal insertion (BIP: mostly LRU-position
+// inserts with occasional MRU promotion), picking whichever loses fewer
+// misses on dedicated leader sets. It serves here as an additional
+// replacement baseline for ablation studies: like dpPred it resists
+// thrashing streams, but it is blind to *which* entries are dead, so it
+// cannot protect a reuse set from a same-set streaming PC the way a
+// dead-entry predictor can.
+//
+// Dueling is implemented with a shared PSEL counter owned by the Policy
+// value; the first leaderPeriod sets lead for LRU, the next for BIP, and
+// follower sets obey PSEL's sign.
+type DIP struct {
+	psel *pselState
+}
+
+// NewDIP creates a DIP policy. The returned value must be used for a
+// single structure (the PSEL counter is shared across its sets).
+func NewDIP() *DIP {
+	return &DIP{psel: &pselState{}}
+}
+
+const (
+	// pselMax bounds the 10-bit policy-selection counter.
+	pselMax = 1023
+	// leaderPeriod spaces the leader sets: within every period the
+	// first set leads LRU and the second leads BIP.
+	leaderPeriod = 32
+	// bipEpsilonInv is 1/ε for BIP: one in this many BIP inserts goes
+	// to MRU, the rest to LRU position.
+	bipEpsilonInv = 32
+)
+
+type pselState struct {
+	counter int
+	nextSet int
+	bipTick uint64
+}
+
+// Name implements Policy.
+func (*DIP) Name() string { return "DIP" }
+
+// NewSet implements Policy. Sets are created in index order by the cache
+// constructor; every leaderPeriod-th set leads LRU, the following one BIP.
+func (d *DIP) NewSet(ways int) Set {
+	idx := d.psel.nextSet
+	d.psel.nextSet++
+	role := followerSet
+	switch idx % leaderPeriod {
+	case 0:
+		role = lruLeader
+	case 1:
+		role = bipLeader
+	}
+	return &dipSet{
+		lru:  LRU{}.NewSet(ways).(*lruSet),
+		role: role,
+		psel: d.psel,
+	}
+}
+
+type dipRole int
+
+const (
+	followerSet dipRole = iota
+	lruLeader
+	bipLeader
+)
+
+type dipSet struct {
+	lru  *lruSet
+	role dipRole
+	psel *pselState
+}
+
+func (s *dipSet) Touch(way int) { s.lru.Touch(way) }
+
+func (s *dipSet) Insert(way int, hint InsertHint) {
+	// Every insert is a miss in this set; the leader sets train the
+	// shared PSEL counter (a miss in the LRU leader votes for BIP and
+	// vice versa).
+	switch s.role {
+	case lruLeader:
+		if s.psel.counter < pselMax {
+			s.psel.counter++
+		}
+	case bipLeader:
+		if s.psel.counter > -pselMax {
+			s.psel.counter--
+		}
+	}
+	if hint == InsertDistant {
+		s.lru.Insert(way, InsertDistant)
+		return
+	}
+	if s.useBIP() {
+		// BIP: insert at LRU position except one in ε inserts.
+		s.psel.bipTick++
+		if s.psel.bipTick%bipEpsilonInv != 0 {
+			s.lru.Insert(way, InsertDistant)
+			return
+		}
+	}
+	s.lru.Insert(way, InsertMRU)
+}
+
+// useBIP decides the insertion flavour for this set.
+func (s *dipSet) useBIP() bool {
+	switch s.role {
+	case lruLeader:
+		return false
+	case bipLeader:
+		return true
+	default:
+		return s.psel.counter > 0 // positive PSEL = LRU is missing more
+	}
+}
+
+// Victim implements Set.
+func (s *dipSet) Victim() int { return s.lru.Victim() }
+
+func (s *dipSet) Invalidate(way int) { s.lru.Invalidate(way) }

@@ -1,0 +1,140 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDIPLeaderAssignment(t *testing.T) {
+	d := NewDIP()
+	roles := make([]dipRole, 2*leaderPeriod)
+	for i := range roles {
+		roles[i] = d.NewSet(4).(*dipSet).role
+	}
+	if roles[0] != lruLeader || roles[1] != bipLeader {
+		t.Errorf("first sets are %v,%v; want LRU leader then BIP leader", roles[0], roles[1])
+	}
+	if roles[leaderPeriod] != lruLeader || roles[leaderPeriod+1] != bipLeader {
+		t.Error("leader pattern does not repeat each period")
+	}
+	followers := 0
+	for _, r := range roles {
+		if r == followerSet {
+			followers++
+		}
+	}
+	if want := 2*leaderPeriod - 4; followers != want {
+		t.Errorf("%d follower sets, want %d", followers, want)
+	}
+}
+
+func TestDIPFollowersTrackPSEL(t *testing.T) {
+	d := NewDIP()
+	var lru, bip, follower *dipSet
+	for i := 0; i < leaderPeriod; i++ {
+		s := d.NewSet(4).(*dipSet)
+		switch s.role {
+		case lruLeader:
+			lru = s
+		case bipLeader:
+			bip = s
+		default:
+			if follower == nil {
+				follower = s
+			}
+		}
+	}
+	// Misses in the LRU leader push PSEL positive → followers use BIP.
+	for i := 0; i < 100; i++ {
+		lru.Insert(i%4, InsertMRU)
+	}
+	if !follower.useBIP() {
+		t.Error("followers should use BIP after LRU-leader misses")
+	}
+	// Misses in the BIP leader pull PSEL back.
+	for i := 0; i < 200; i++ {
+		bip.Insert(i%4, InsertMRU)
+	}
+	if follower.useBIP() {
+		t.Error("followers should return to LRU after BIP-leader misses")
+	}
+}
+
+func TestDIPBimodalInsertion(t *testing.T) {
+	d := NewDIP()
+	var bip *dipSet
+	for i := 0; i < 2; i++ {
+		s := d.NewSet(8).(*dipSet)
+		if s.role == bipLeader {
+			bip = s
+		}
+	}
+	// In a BIP set, almost every insert lands at the LRU position: the
+	// newly inserted way is the immediate next victim except one in ε.
+	immediateVictim := 0
+	const n = bipEpsilonInv * 8
+	for i := 0; i < n; i++ {
+		way := i % 8
+		bip.Insert(way, InsertMRU)
+		if bip.Victim() == way {
+			immediateVictim++
+		}
+	}
+	if immediateVictim < n*3/4 {
+		t.Errorf("only %d/%d BIP inserts were LRU-position", immediateVictim, n)
+	}
+	if immediateVictim == n {
+		t.Error("no BIP insert ever promoted to MRU (ε missing)")
+	}
+}
+
+func TestDIPPSELSaturates(t *testing.T) {
+	d := NewDIP()
+	lru := d.NewSet(4).(*dipSet) // set 0: LRU leader
+	for i := 0; i < 10*pselMax; i++ {
+		lru.Insert(i%4, InsertMRU)
+	}
+	if d.psel.counter != pselMax {
+		t.Errorf("PSEL = %d, want saturation at %d", d.psel.counter, pselMax)
+	}
+}
+
+func TestDIPVictimInRangeProperty(t *testing.T) {
+	f := func(ops []uint8, waysRaw uint8) bool {
+		ways := int(waysRaw%15) + 1
+		d := NewDIP()
+		sets := []Set{d.NewSet(ways), d.NewSet(ways), d.NewSet(ways)}
+		for i, op := range ops {
+			s := sets[i%len(sets)]
+			way := int(op) % ways
+			switch op % 4 {
+			case 0:
+				s.Touch(way)
+			case 1:
+				s.Insert(way, InsertMRU)
+			case 2:
+				s.Insert(way, InsertDistant)
+			case 3:
+				s.Invalidate(way)
+			}
+			if v := s.Victim(); v < 0 || v >= ways {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDIPWorksInCache(t *testing.T) {
+	// Integration through the policy registry path: a DIP-managed
+	// structure must behave sanely under a thrashing stream.
+	d := NewDIP()
+	s := d.NewSet(4)
+	for i := 0; i < 1000; i++ {
+		w := s.Victim()
+		s.Insert(w, InsertMRU)
+	}
+}

@@ -1,0 +1,256 @@
+// Package policy implements the replacement policies used by the simulated
+// TLBs and caches: LRU (the paper's baseline), SRRIP (used in the Fig. 11f
+// sensitivity study), FIFO (used by cbPred's PFN filter queue) and a
+// deterministic pseudo-random policy for comparison experiments.
+//
+// A Policy is a factory producing independent per-set state. The cache owns
+// validity: it always prefers an invalid way, so a Set only ranks valid
+// ways. Insertion takes a hint so that predictors such as SHiP can demote
+// blocks predicted to have a distant re-reference interval (inserted at the
+// LRU position under LRU, or with RRPV=3 under SRRIP, exactly as §VI-A
+// adapts SHiP to an LRU baseline).
+package policy
+
+import "fmt"
+
+// InsertHint tells the policy where a newly filled block should start.
+type InsertHint int
+
+const (
+	// InsertMRU is the default insertion for a demand fill.
+	InsertMRU InsertHint = iota
+	// InsertDistant inserts the block as the next replacement candidate
+	// (LRU position / RRPV=3), used for predicted-dead insertions.
+	InsertDistant
+)
+
+// Set tracks replacement state for the ways of a single set.
+type Set interface {
+	// Touch records a hit on the given way.
+	Touch(way int)
+	// Insert records a fill into the given way with the given hint.
+	Insert(way int, hint InsertHint)
+	// Victim returns the way the policy would replace next. It must
+	// return a value in [0, ways).
+	Victim() int
+	// Invalidate forgets any state for the way (back-invalidation).
+	Invalidate(way int)
+}
+
+// Policy creates per-set replacement state.
+type Policy interface {
+	// Name identifies the policy in reports ("LRU", "SRRIP", ...).
+	Name() string
+	// NewSet returns replacement state for a set with the given ways.
+	NewSet(ways int) Set
+}
+
+// New returns the policy with the given name. Supported names are
+// "LRU", "SRRIP", "FIFO" and "Random".
+func New(name string) (Policy, error) {
+	switch name {
+	case "LRU", "lru":
+		return LRU{}, nil
+	case "SRRIP", "srrip":
+		return SRRIP{}, nil
+	case "FIFO", "fifo":
+		return FIFO{}, nil
+	case "Random", "random":
+		return Random{Seed: 1}, nil
+	case "DIP", "dip":
+		// A fresh instance per call: DIP carries shared dueling state
+		// and must not be reused across structures.
+		return NewDIP(), nil
+	}
+	return nil, fmt.Errorf("policy: unknown replacement policy %q", name)
+}
+
+// LRU is the least-recently-used policy (the paper's baseline everywhere).
+type LRU struct{}
+
+// Name implements Policy.
+func (LRU) Name() string { return "LRU" }
+
+// NewSet implements Policy.
+func (LRU) NewSet(ways int) Set {
+	s := &lruSet{stamp: make([]uint64, ways)}
+	// Start with distinct stamps so Victim is well defined before fills.
+	for i := range s.stamp {
+		s.stamp[i] = uint64(i)
+	}
+	s.clock = uint64(ways)
+	return s
+}
+
+type lruSet struct {
+	stamp []uint64 // most recent use time per way; smallest is LRU
+	clock uint64
+}
+
+func (s *lruSet) Touch(way int) {
+	s.clock++
+	s.stamp[way] = s.clock
+}
+
+func (s *lruSet) Insert(way int, hint InsertHint) {
+	if hint == InsertDistant {
+		// Become the immediate next victim: older than everything.
+		min := s.stamp[0]
+		for _, st := range s.stamp[1:] {
+			if st < min {
+				min = st
+			}
+		}
+		if min == 0 {
+			// Shift everything up to make room below.
+			for i := range s.stamp {
+				s.stamp[i]++
+			}
+			s.clock++
+			min = 1
+		}
+		s.stamp[way] = min - 1
+		return
+	}
+	s.Touch(way)
+}
+
+func (s *lruSet) Victim() int {
+	victim := 0
+	for i, st := range s.stamp[1:] {
+		if st < s.stamp[victim] {
+			victim = i + 1
+		}
+	}
+	return victim
+}
+
+func (s *lruSet) Invalidate(way int) {
+	// An invalidated way becomes the best victim.
+	s.stamp[way] = 0
+}
+
+// SRRIP implements static re-reference interval prediction with 2-bit
+// RRPVs (Jaleel et al., ISCA 2010): fills insert with a long re-reference
+// prediction (RRPV=2), hits promote to RRPV=0, and the victim is the first
+// way with RRPV=3 (aging all ways until one exists).
+type SRRIP struct{}
+
+// Name implements Policy.
+func (SRRIP) Name() string { return "SRRIP" }
+
+// NewSet implements Policy.
+func (SRRIP) NewSet(ways int) Set {
+	s := &srripSet{rrpv: make([]uint8, ways)}
+	for i := range s.rrpv {
+		s.rrpv[i] = rrpvMax // empty ways are perfect victims
+	}
+	return s
+}
+
+const rrpvMax = 3
+
+type srripSet struct {
+	rrpv []uint8
+}
+
+func (s *srripSet) Touch(way int) { s.rrpv[way] = 0 }
+
+func (s *srripSet) Insert(way int, hint InsertHint) {
+	if hint == InsertDistant {
+		s.rrpv[way] = rrpvMax
+		return
+	}
+	s.rrpv[way] = rrpvMax - 1
+}
+
+func (s *srripSet) Victim() int {
+	for {
+		for i, v := range s.rrpv {
+			if v == rrpvMax {
+				return i
+			}
+		}
+		for i := range s.rrpv {
+			s.rrpv[i]++
+		}
+	}
+}
+
+func (s *srripSet) Invalidate(way int) { s.rrpv[way] = rrpvMax }
+
+// FIFO replaces ways in insertion order, ignoring hits. cbPred's PFQ uses
+// FIFO replacement (§V-B).
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "FIFO" }
+
+// NewSet implements Policy.
+func (FIFO) NewSet(ways int) Set {
+	s := &fifoSet{order: make([]uint64, ways)}
+	for i := range s.order {
+		s.order[i] = uint64(i)
+	}
+	s.clock = uint64(ways)
+	return s
+}
+
+type fifoSet struct {
+	order []uint64
+	clock uint64
+}
+
+func (s *fifoSet) Touch(int) {}
+
+func (s *fifoSet) Insert(way int, _ InsertHint) {
+	s.clock++
+	s.order[way] = s.clock
+}
+
+func (s *fifoSet) Victim() int {
+	victim := 0
+	for i := 1; i < len(s.order); i++ {
+		if s.order[i] < s.order[victim] {
+			victim = i
+		}
+	}
+	return victim
+}
+
+func (s *fifoSet) Invalidate(way int) { s.order[way] = 0 }
+
+// Random picks victims with a per-set xorshift64 generator, seeded
+// deterministically so that simulations are reproducible.
+type Random struct {
+	// Seed perturbs every per-set generator; zero is replaced by one.
+	Seed uint64
+}
+
+// Name implements Policy.
+func (Random) Name() string { return "Random" }
+
+// NewSet implements Policy.
+func (r Random) NewSet(ways int) Set {
+	seed := r.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &randomSet{ways: ways, state: seed}
+}
+
+type randomSet struct {
+	ways  int
+	state uint64
+}
+
+func (s *randomSet) Touch(int)              {}
+func (s *randomSet) Insert(int, InsertHint) {}
+func (s *randomSet) Invalidate(int)         {}
+
+func (s *randomSet) Victim() int {
+	s.state ^= s.state << 13
+	s.state ^= s.state >> 7
+	s.state ^= s.state << 17
+	return int(s.state % uint64(s.ways))
+}

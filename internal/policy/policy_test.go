@@ -1,0 +1,184 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"LRU", "SRRIP", "FIFO", "Random", "lru", "srrip"} {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.NewSet(4) == nil {
+			t.Fatalf("New(%q).NewSet returned nil", name)
+		}
+	}
+	if _, err := New("PLRU"); err == nil {
+		t.Error("New(PLRU) should fail")
+	}
+}
+
+func TestLRUVictimIsLeastRecent(t *testing.T) {
+	s := LRU{}.NewSet(4)
+	for w := 0; w < 4; w++ {
+		s.Insert(w, InsertMRU)
+	}
+	s.Touch(0)
+	s.Touch(2)
+	// Way 1 was filled before way 3 and never touched again.
+	if v := s.Victim(); v != 1 {
+		t.Errorf("Victim = %d, want 1", v)
+	}
+	s.Touch(1)
+	if v := s.Victim(); v != 3 {
+		t.Errorf("Victim = %d, want 3", v)
+	}
+}
+
+func TestLRUInsertDistantIsNextVictim(t *testing.T) {
+	s := LRU{}.NewSet(8)
+	for w := 0; w < 8; w++ {
+		s.Insert(w, InsertMRU)
+	}
+	s.Insert(5, InsertDistant)
+	if v := s.Victim(); v != 5 {
+		t.Errorf("Victim after distant insert = %d, want 5", v)
+	}
+	// A touch rescues it.
+	s.Touch(5)
+	if v := s.Victim(); v == 5 {
+		t.Error("touched way must not remain the victim")
+	}
+}
+
+func TestLRUInsertDistantUnderflow(t *testing.T) {
+	s := LRU{}.NewSet(2)
+	s.Invalidate(0) // stamp 0
+	s.Insert(1, InsertDistant)
+	if v := s.Victim(); v != 1 {
+		t.Errorf("Victim = %d, want 1 (distant insert below stamp 0)", v)
+	}
+}
+
+func TestLRUInvalidateBecomesVictim(t *testing.T) {
+	s := LRU{}.NewSet(4)
+	for w := 0; w < 4; w++ {
+		s.Insert(w, InsertMRU)
+	}
+	s.Invalidate(3)
+	if v := s.Victim(); v != 3 {
+		t.Errorf("Victim = %d, want invalidated way 3", v)
+	}
+}
+
+func TestSRRIPPromotionAndAging(t *testing.T) {
+	s := SRRIP{}.NewSet(2)
+	s.Insert(0, InsertMRU) // RRPV 2
+	s.Insert(1, InsertMRU) // RRPV 2
+	s.Touch(0)             // RRPV 0
+	// Aging should push way 1 to RRPV 3 first.
+	if v := s.Victim(); v != 1 {
+		t.Errorf("Victim = %d, want 1", v)
+	}
+}
+
+func TestSRRIPDistantInsert(t *testing.T) {
+	s := SRRIP{}.NewSet(4)
+	for w := 0; w < 4; w++ {
+		s.Insert(w, InsertMRU)
+	}
+	s.Insert(2, InsertDistant)
+	if v := s.Victim(); v != 2 {
+		t.Errorf("Victim = %d, want distant-inserted way 2", v)
+	}
+}
+
+func TestFIFOIgnoresTouches(t *testing.T) {
+	s := FIFO{}.NewSet(3)
+	s.Insert(0, InsertMRU)
+	s.Insert(1, InsertMRU)
+	s.Insert(2, InsertMRU)
+	s.Touch(0)
+	s.Touch(0)
+	if v := s.Victim(); v != 0 {
+		t.Errorf("Victim = %d, want 0 (FIFO ignores hits)", v)
+	}
+	s.Insert(0, InsertMRU) // refill way 0
+	if v := s.Victim(); v != 1 {
+		t.Errorf("Victim = %d, want 1", v)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random{Seed: 42}.NewSet(8)
+	b := Random{Seed: 42}.NewSet(8)
+	for i := 0; i < 100; i++ {
+		if a.Victim() != b.Victim() {
+			t.Fatal("same-seed Random sets diverged")
+		}
+	}
+}
+
+func TestRandomZeroSeed(t *testing.T) {
+	s := Random{}.NewSet(4)
+	if v := s.Victim(); v < 0 || v >= 4 {
+		t.Errorf("Victim = %d out of range", v)
+	}
+}
+
+// Property: every policy returns victims in range whatever the operation
+// sequence.
+func TestVictimInRangeProperty(t *testing.T) {
+	policies := []Policy{LRU{}, SRRIP{}, FIFO{}, Random{Seed: 7}}
+	for _, p := range policies {
+		p := p
+		f := func(ops []uint8, waysRaw uint8) bool {
+			ways := int(waysRaw%15) + 1
+			s := p.NewSet(ways)
+			for _, op := range ops {
+				way := int(op) % ways
+				switch op % 4 {
+				case 0:
+					s.Touch(way)
+				case 1:
+					s.Insert(way, InsertMRU)
+				case 2:
+					s.Insert(way, InsertDistant)
+				case 3:
+					s.Invalidate(way)
+				}
+				if v := s.Victim(); v < 0 || v >= ways {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+// Property: under LRU, touching a way means it is never the immediate
+// victim unless it is the only way.
+func TestLRUTouchProtectsProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const ways = 4
+		s := LRU{}.NewSet(ways)
+		for _, op := range ops {
+			s.Insert(int(op)%ways, InsertMRU)
+		}
+		for w := 0; w < ways; w++ {
+			s.Touch(w)
+			if s.Victim() == w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,252 @@
+// AIP — the counter-based Access Interval Predictor of Kharbutli & Solihin
+// ("Counter-Based Cache Replacement Algorithms", ICCD 2005), the first
+// baseline of §VI. AIP learns, per (PC, address) pair, the largest number
+// of accesses to a set that a block tolerates between two of its own
+// accesses; once a resident block's interval counter exceeds its learned
+// threshold with confidence, the block is declared dead and prioritized for
+// victimization (the DeadMark bit in internal/cache).
+//
+// As the paper observes (§VI-A), AIP targets *non-DOA* dead entries: a
+// block must first exhibit a stable access interval before AIP can predict
+// its death, so dead-on-arrival entries — which dominate the LLT — are
+// invisible to it. The experiments reproduce exactly this failure mode.
+package pred
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/xhash"
+)
+
+// AIPConfig sizes an AIP predictor.
+type AIPConfig struct {
+	// PCBits and AddrBits index the two-dimensional prediction table
+	// (the paper configures 256×256 for AIP-TLB, i.e. 8 and 8).
+	PCBits   uint
+	AddrBits uint
+	// ThresholdBits is the width of each stored interval threshold.
+	ThresholdBits uint
+	// PerEntryBits is the metadata AIP adds to each entry of the
+	// structure it guards (the paper charges AIP 21 bits per TLB entry);
+	// used only for storage accounting.
+	PerEntryBits uint
+	// Entries is the entry count of the guarded structure, for storage
+	// accounting.
+	Entries int
+}
+
+// DefaultAIPTLBConfig is the paper's AIP-TLB configuration (§VI-A):
+// a 256×256 two-dimensional history table and 21 bits per TLB entry.
+func DefaultAIPTLBConfig(lltEntries int) AIPConfig {
+	return AIPConfig{
+		PCBits:        8,
+		AddrBits:      8,
+		ThresholdBits: 12,
+		PerEntryBits:  21,
+		Entries:       lltEntries,
+	}
+}
+
+// DefaultAIPLLCConfig mirrors the LLC-scale AIP deployment the paper
+// charges ~124 KB of state for.
+func DefaultAIPLLCConfig(llcBlocks int) AIPConfig {
+	return AIPConfig{
+		PCBits:        8,
+		AddrBits:      8,
+		ThresholdBits: 12,
+		PerEntryBits:  21,
+		Entries:       llcBlocks,
+	}
+}
+
+type aipEntry struct {
+	threshold uint16
+	conf      bool
+	valid     bool
+}
+
+// aip is the shared engine behind the TLB and LLC variants.
+type aip struct {
+	name   string
+	cfg    AIPConfig
+	table  [][]aipEntry // [pcHash][addrHash]
+	target *cache.Cache
+}
+
+func newAIP(name string, cfg AIPConfig, target *cache.Cache) (*aip, error) {
+	if cfg.PCBits == 0 || cfg.PCBits > 16 || cfg.AddrBits == 0 || cfg.AddrBits > 16 {
+		return nil, fmt.Errorf("aip: index widths must be in [1,16], got PC=%d addr=%d",
+			cfg.PCBits, cfg.AddrBits)
+	}
+	if target == nil {
+		return nil, fmt.Errorf("aip: nil target structure")
+	}
+	rows := 1 << cfg.PCBits
+	cols := 1 << cfg.AddrBits
+	t := make([][]aipEntry, rows)
+	backing := make([]aipEntry, rows*cols)
+	for r := range t {
+		t[r] = backing[r*cols : (r+1)*cols]
+	}
+	return &aip{name: name, cfg: cfg, table: t, target: target}, nil
+}
+
+func (a *aip) index(pcHash uint16, key uint64) (int, int) {
+	return int(pcHash) & (len(a.table) - 1),
+		int(xhash.Fold(key, a.cfg.AddrBits))
+}
+
+// OnAccess advances the interval counters of every other block in the
+// accessed set and re-evaluates deadness.
+func (a *aip) OnAccess(key uint64) {
+	a.target.BumpSetCounters(key)
+	a.target.ForEachInSet(key, func(_ int, b *cache.Block) {
+		if b.AIPConf && b.AIPCount > b.AIPThreshold {
+			b.DeadMark = true
+		}
+	})
+}
+
+// onHit folds the observed interval into the generation maximum and
+// revives the block.
+func (a *aip) onHit(b *cache.Block) {
+	if b.AIPCount > b.AIPMax {
+		b.AIPMax = b.AIPCount
+	}
+	b.AIPCount = 0
+	b.DeadMark = false
+}
+
+// onFill loads the learned threshold for the (PC, key) pair.
+func (a *aip) onFill(key uint64, pc uint64) Decision {
+	pcHash := uint16(xhash.PC(pc, a.cfg.PCBits))
+	return Decision{PCHash: pcHash}
+}
+
+// loadThreshold initializes a freshly allocated entry from the table.
+func (a *aip) loadThreshold(b *cache.Block) {
+	r, c := a.index(b.PCHash, b.Key)
+	e := a.table[r][c]
+	if e.valid {
+		b.AIPThreshold = e.threshold
+		b.AIPConf = e.conf
+	}
+}
+
+// onEvict trains the table with the generation's maximum interval.
+func (a *aip) onEvict(b cache.Block) {
+	max := b.AIPMax
+	if b.AIPCount > max {
+		// The final (unfinished) interval also bounds liveness.
+		max = b.AIPCount
+	}
+	r, c := a.index(b.PCHash, b.Key)
+	e := &a.table[r][c]
+	e.conf = e.valid && closeEnough(e.threshold, max)
+	e.threshold = max
+	e.valid = true
+}
+
+// closeEnough reports whether two learned access intervals agree within the
+// 25% tolerance the counter-based predictor uses to gain confidence
+// (intervals are rarely bit-exact across generations).
+func closeEnough(a, b uint16) bool {
+	d := int(a) - int(b)
+	if d < 0 {
+		d = -d
+	}
+	limit := int(a)/4 + 1
+	return d <= limit
+}
+
+// StorageBits implements the predictors' storage accounting.
+func (a *aip) StorageBits() uint64 {
+	tableBits := uint64(len(a.table)) * uint64(len(a.table[0])) *
+		uint64(a.cfg.ThresholdBits+1) // +1 confidence bit
+	entryBits := uint64(a.cfg.PerEntryBits) * uint64(a.cfg.Entries)
+	return tableBits + entryBits
+}
+
+// AIPTLB applies AIP to the last-level TLB (AIP-TLB in §VI-A).
+type AIPTLB struct {
+	*aip
+}
+
+// NewAIPTLB builds AIP-TLB over the LLT's backing structure.
+func NewAIPTLB(cfg AIPConfig, llt *cache.Cache) (*AIPTLB, error) {
+	a, err := newAIP("AIP-TLB", cfg, llt)
+	if err != nil {
+		return nil, err
+	}
+	return &AIPTLB{aip: a}, nil
+}
+
+// Name implements TLBPredictor.
+func (a *AIPTLB) Name() string { return a.name }
+
+// OnHit implements TLBPredictor.
+func (a *AIPTLB) OnHit(b *cache.Block) { a.onHit(b) }
+
+// OnMiss implements TLBPredictor. AIP has no victim buffer.
+func (a *AIPTLB) OnMiss(arch.VPN, uint64) (arch.PFN, bool) { return 0, false }
+
+// OnFill implements TLBPredictor. AIP never bypasses; it victimizes.
+func (a *AIPTLB) OnFill(vpn arch.VPN, _ arch.PFN, pc uint64) Decision {
+	return a.onFill(uint64(vpn), pc)
+}
+
+// OnFillDone loads the new entry's threshold; the simulator calls it with
+// the allocated block.
+func (a *AIPTLB) OnFillDone(b *cache.Block) { a.loadThreshold(b) }
+
+// OnEvict implements TLBPredictor.
+func (a *AIPTLB) OnEvict(b cache.Block) { a.onEvict(b) }
+
+// AIPLLC applies AIP to the last-level cache (AIP-LLC in §VI-B).
+type AIPLLC struct {
+	*aip
+}
+
+// NewAIPLLC builds AIP-LLC over the LLC's backing structure.
+func NewAIPLLC(cfg AIPConfig, llc *cache.Cache) (*AIPLLC, error) {
+	a, err := newAIP("AIP-LLC", cfg, llc)
+	if err != nil {
+		return nil, err
+	}
+	return &AIPLLC{aip: a}, nil
+}
+
+// Name implements LLCPredictor.
+func (a *AIPLLC) Name() string { return a.name }
+
+// OnHit implements LLCPredictor.
+func (a *AIPLLC) OnHit(b *cache.Block) { a.onHit(b) }
+
+// OnFill implements LLCPredictor.
+func (a *AIPLLC) OnFill(blockNum uint64, pc uint64) Decision {
+	return a.onFill(blockNum, pc)
+}
+
+// OnFillDone loads the new block's threshold.
+func (a *AIPLLC) OnFillDone(b *cache.Block) { a.loadThreshold(b) }
+
+// OnEvict implements LLCPredictor.
+func (a *AIPLLC) OnEvict(b cache.Block) { a.onEvict(b) }
+
+// FillFinisher is implemented by predictors that must initialize the
+// freshly allocated entry after the structure commits a fill (AIP's
+// threshold load).
+type FillFinisher interface {
+	OnFillDone(b *cache.Block)
+}
+
+var (
+	_ TLBPredictor   = (*AIPTLB)(nil)
+	_ LLCPredictor   = (*AIPLLC)(nil)
+	_ AccessObserver = (*AIPTLB)(nil)
+	_ AccessObserver = (*AIPLLC)(nil)
+	_ FillFinisher   = (*AIPTLB)(nil)
+	_ FillFinisher   = (*AIPLLC)(nil)
+)

@@ -1,0 +1,126 @@
+// Oracle — the approximate oracle dead-page predictor of §VI-A (Table IV).
+// The paper approximates an oracle "by tracking if a true DOA entry
+// replaced a non-DOA entry ... effectively an oracle predictor with a
+// lookahead of 1 for each evicted entry", because a full-future oracle is
+// impractical to simulate.
+//
+// We implement the equivalent two-pass construction available to a
+// deterministic trace-driven simulator: a first (recording) pass runs the
+// baseline LLT and logs, for every fill in per-VPN order, whether the entry
+// turned out to be dead on arrival; a second (replay) pass bypasses exactly
+// the fills the recording proved DOA. Because a DOA entry by definition
+// receives no hit between fill and eviction, bypassing it does not change
+// the fill sequence of its own VPN, so per-VPN occurrence indices stay
+// aligned between the two passes.
+package pred
+
+import (
+	"repro/internal/arch"
+	"repro/internal/cache"
+)
+
+// DOARecord holds per-VPN fill outcomes captured by a RecorderTLB, in fill
+// order for each VPN.
+type DOARecord struct {
+	outcomes map[arch.VPN][]bool
+}
+
+// NewDOARecord creates an empty record.
+func NewDOARecord() *DOARecord {
+	return &DOARecord{outcomes: make(map[arch.VPN][]bool)}
+}
+
+// Fills returns the number of recorded fills for vpn.
+func (r *DOARecord) Fills(vpn arch.VPN) int { return len(r.outcomes[vpn]) }
+
+// RecorderTLB is a pass-through TLB predictor that captures ground-truth
+// DOA outcomes into a DOARecord. It makes no predictions.
+type RecorderTLB struct {
+	rec *DOARecord
+}
+
+// NewRecorderTLB builds a recorder writing into rec.
+func NewRecorderTLB(rec *DOARecord) *RecorderTLB {
+	return &RecorderTLB{rec: rec}
+}
+
+// Name implements TLBPredictor.
+func (*RecorderTLB) Name() string { return "oracle-recorder" }
+
+// OnHit implements TLBPredictor.
+func (*RecorderTLB) OnHit(*cache.Block) {}
+
+// OnMiss implements TLBPredictor.
+func (*RecorderTLB) OnMiss(arch.VPN, uint64) (arch.PFN, bool) { return 0, false }
+
+// OnFill implements TLBPredictor. It appends a pending outcome (resolved at
+// eviction; fills still resident at simulation end stay non-DOA, the
+// conservative choice).
+func (r *RecorderTLB) OnFill(vpn arch.VPN, _ arch.PFN, _ uint64) Decision {
+	r.rec.outcomes[vpn] = append(r.rec.outcomes[vpn], false)
+	return Decision{}
+}
+
+// OnEvict implements TLBPredictor: it resolves the VPN's most recent fill.
+// A VPN is resident at most once, so fills and evictions strictly
+// alternate per VPN and the last recorded fill is the one being evicted.
+func (r *RecorderTLB) OnEvict(b cache.Block) {
+	list := r.rec.outcomes[arch.VPN(b.Key)]
+	if len(list) == 0 {
+		return // eviction of an entry filled before recording began
+	}
+	list[len(list)-1] = !b.Accessed
+}
+
+// StorageBits implements TLBPredictor; a recorder is instrumentation, not
+// hardware.
+func (*RecorderTLB) StorageBits() uint64 { return 0 }
+
+// OracleTLB replays a DOARecord: it bypasses exactly the fills the
+// recording pass proved dead on arrival.
+type OracleTLB struct {
+	rec  *DOARecord
+	next map[arch.VPN]int
+
+	predictions uint64
+}
+
+// NewOracleTLB builds the replay predictor from a completed record.
+func NewOracleTLB(rec *DOARecord) *OracleTLB {
+	return &OracleTLB{rec: rec, next: make(map[arch.VPN]int, len(rec.outcomes))}
+}
+
+// Name implements TLBPredictor.
+func (*OracleTLB) Name() string { return "oracle" }
+
+// OnHit implements TLBPredictor.
+func (*OracleTLB) OnHit(*cache.Block) {}
+
+// OnMiss implements TLBPredictor.
+func (*OracleTLB) OnMiss(arch.VPN, uint64) (arch.PFN, bool) { return 0, false }
+
+// OnFill implements TLBPredictor.
+func (o *OracleTLB) OnFill(vpn arch.VPN, _ arch.PFN, _ uint64) Decision {
+	list := o.rec.outcomes[vpn]
+	i := o.next[vpn]
+	o.next[vpn] = i + 1
+	if i < len(list) && list[i] {
+		o.predictions++
+		return Decision{Bypass: true, PredictDOA: true}
+	}
+	return Decision{}
+}
+
+// OnEvict implements TLBPredictor.
+func (*OracleTLB) OnEvict(cache.Block) {}
+
+// Predictions returns how many fills the oracle bypassed.
+func (o *OracleTLB) Predictions() uint64 { return o.predictions }
+
+// StorageBits implements TLBPredictor. An oracle has no hardware budget.
+func (*OracleTLB) StorageBits() uint64 { return 0 }
+
+var (
+	_ TLBPredictor = (*RecorderTLB)(nil)
+	_ TLBPredictor = (*OracleTLB)(nil)
+)

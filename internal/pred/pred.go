@@ -1,0 +1,139 @@
+// Package pred defines the predictor interfaces the simulator drives and
+// the baseline predictors the paper compares against: AIP (the
+// counter-based access-interval predictor of Kharbutli & Solihin, ICCD
+// 2005), SHiP (the signature-based hit predictor of Wu et al., MICRO 2011),
+// and the lookahead oracle of §VI-A. The paper's own predictors, dpPred and
+// cbPred, live in internal/core and implement the same interfaces.
+//
+// The simulator calls predictors at four points per structure:
+//
+//	OnHit   — a lookup hit (the entry's Accessed bit is already set)
+//	OnMiss  — a lookup miss, before the downstream request (lets dpPred's
+//	          shadow table serve as a victim buffer)
+//	OnFill  — a fill is about to allocate; the Decision can bypass it,
+//	          demote it, and attach metadata to the new entry
+//	OnEvict — an entry was evicted (with its full metadata)
+//
+// Decisions also carry the predictor's DOA claim so the accuracy/coverage
+// instrumentation in internal/stats can grade every fill-time prediction
+// against ground truth, independent of how the predictor acts on it.
+package pred
+
+import (
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/policy"
+)
+
+// Decision is a predictor's verdict on a fill.
+type Decision struct {
+	// Bypass suppresses the allocation entirely.
+	Bypass bool
+	// Hint positions the entry for replacement when it is allocated.
+	Hint policy.InsertHint
+	// PredictDOA records that the predictor claims the entry will be
+	// dead on arrival, for accuracy/coverage grading. Bypassing
+	// predictors set it together with Bypass; demoting predictors (SHiP)
+	// set it with Hint=InsertDistant.
+	PredictDOA bool
+	// SetDP marks the new LLC block as belonging to a predicted DOA page
+	// (cbPred's DP bit, §V-B).
+	SetDP bool
+	// PCHash and Sig are metadata to store in the new entry.
+	PCHash uint16
+	Sig    uint16
+}
+
+// TLBPredictor guides LLT management.
+type TLBPredictor interface {
+	// Name identifies the predictor in reports.
+	Name() string
+	// OnHit is called after a lookup hit on the entry.
+	OnHit(b *cache.Block)
+	// OnMiss is called on an LLT miss before the page walk is issued.
+	// If the predictor holds the translation in a victim buffer it
+	// returns it with handled=true; the simulator then re-inserts the
+	// entry into the LLT without walking (Fig. 6a).
+	OnMiss(vpn arch.VPN, pc uint64) (pfn arch.PFN, handled bool)
+	// OnFill decides what to do with a completed walk's translation.
+	OnFill(vpn arch.VPN, pfn arch.PFN, pc uint64) Decision
+	// OnEvict is called with the evicted entry.
+	OnEvict(b cache.Block)
+	// StorageBits reports the predictor's total state overhead in bits,
+	// including per-entry metadata it adds to the LLT.
+	StorageBits() uint64
+}
+
+// LLCPredictor guides LLC management.
+type LLCPredictor interface {
+	// Name identifies the predictor in reports.
+	Name() string
+	// OnHit is called after a lookup hit on the block.
+	OnHit(b *cache.Block)
+	// OnFill decides what to do with an incoming block. blockNum is the
+	// physical block number (PAddr >> BlockShift).
+	OnFill(blockNum uint64, pc uint64) Decision
+	// OnEvict is called with the evicted block.
+	OnEvict(b cache.Block)
+	// StorageBits reports total state overhead in bits.
+	StorageBits() uint64
+}
+
+// DOAPageListener is implemented by LLC predictors that consume DOA-page
+// notifications from the TLB side (cbPred's PFQ, §V-B). The simulator calls
+// it whenever the TLB predictor bypasses a fill.
+type DOAPageListener interface {
+	NotifyDOAPage(pfn arch.PFN)
+}
+
+// AccessObserver is implemented by predictors that must observe every
+// access to their structure's set (AIP's access-interval counters).
+type AccessObserver interface {
+	// OnAccess is called once per lookup with the key being accessed,
+	// before the hit/miss outcome is processed.
+	OnAccess(key uint64)
+}
+
+// NullTLB is the baseline: no prediction, plain LRU allocation.
+type NullTLB struct{}
+
+// Name implements TLBPredictor.
+func (NullTLB) Name() string { return "baseline" }
+
+// OnHit implements TLBPredictor.
+func (NullTLB) OnHit(*cache.Block) {}
+
+// OnMiss implements TLBPredictor.
+func (NullTLB) OnMiss(arch.VPN, uint64) (arch.PFN, bool) { return 0, false }
+
+// OnFill implements TLBPredictor.
+func (NullTLB) OnFill(arch.VPN, arch.PFN, uint64) Decision { return Decision{} }
+
+// OnEvict implements TLBPredictor.
+func (NullTLB) OnEvict(cache.Block) {}
+
+// StorageBits implements TLBPredictor.
+func (NullTLB) StorageBits() uint64 { return 0 }
+
+// NullLLC is the baseline LLC: no prediction.
+type NullLLC struct{}
+
+// Name implements LLCPredictor.
+func (NullLLC) Name() string { return "baseline" }
+
+// OnHit implements LLCPredictor.
+func (NullLLC) OnHit(*cache.Block) {}
+
+// OnFill implements LLCPredictor.
+func (NullLLC) OnFill(uint64, uint64) Decision { return Decision{} }
+
+// OnEvict implements LLCPredictor.
+func (NullLLC) OnEvict(cache.Block) {}
+
+// StorageBits implements LLCPredictor.
+func (NullLLC) StorageBits() uint64 { return 0 }
+
+var (
+	_ TLBPredictor = NullTLB{}
+	_ LLCPredictor = NullLLC{}
+)

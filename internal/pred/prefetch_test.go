@@ -1,0 +1,133 @@
+package pred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func newDP(t *testing.T) *DistancePrefetcher {
+	t.Helper()
+	p, err := NewDistancePrefetcher(DefaultDistancePrefetcherConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPrefetchValidation(t *testing.T) {
+	bad := []DistancePrefetcherConfig{
+		{TableBits: 0, Ways: 2},
+		{TableBits: 17, Ways: 2},
+		{TableBits: 8, Ways: 0},
+		{TableBits: 8, Ways: 9},
+	}
+	for _, cfg := range bad {
+		if _, err := NewDistancePrefetcher(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestPrefetchLearnsConstantStride(t *testing.T) {
+	p := newDP(t)
+	// A constant stride of +3 pages: after the pattern repeats, every
+	// miss should prefetch vpn+3.
+	vpn := arch.VPN(1000)
+	var got []arch.VPN
+	for i := 0; i < 10; i++ {
+		got = p.OnMiss(vpn, 0x400000)
+		vpn += 3
+	}
+	if len(got) != 1 || got[0] != vpn-3+3 {
+		t.Fatalf("after stride training OnMiss returned %v, want [%d]", got, vpn)
+	}
+}
+
+func TestPrefetchAlternatingPattern(t *testing.T) {
+	p := newDP(t)
+	// Alternate +5 / +11: each distance should learn the other as its
+	// successor, giving correct lookahead on both phases.
+	vpn := arch.VPN(5000)
+	deltas := []int64{5, 11}
+	for i := 0; i < 40; i++ {
+		p.OnMiss(vpn, 0x400000)
+		vpn += arch.VPN(deltas[i%2])
+	}
+	// The loop ends after applying +11, so this miss arrives with
+	// distance 11, whose learned successor is +5.
+	out := p.OnMiss(vpn, 0x400000)
+	found := false
+	for _, v := range out {
+		if v == vpn+5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("distance 11 did not predict +5: got %v (vpn=%d)", out, vpn)
+	}
+}
+
+func TestPrefetchNoPredictionWhenUntrained(t *testing.T) {
+	p := newDP(t)
+	if out := p.OnMiss(100, 0x400000); out != nil {
+		t.Errorf("first miss produced prefetches: %v", out)
+	}
+	if out := p.OnMiss(200, 0x400000); len(out) != 0 {
+		t.Errorf("second miss (untrained distance) produced prefetches: %v", out)
+	}
+}
+
+func TestPrefetchZeroDistanceIgnored(t *testing.T) {
+	p := newDP(t)
+	p.OnMiss(100, 0x400000)
+	if out := p.OnMiss(100, 0x400000); len(out) != 0 {
+		t.Errorf("repeated miss to same page produced prefetches: %v", out)
+	}
+}
+
+func TestPrefetchNegativeTargetDropped(t *testing.T) {
+	p := newDP(t)
+	// Train distance −50 → −50, then miss near zero: target would be
+	// negative and must be suppressed.
+	vpn := arch.VPN(1000)
+	for i := 0; i < 10; i++ {
+		p.OnMiss(vpn, 0x400000)
+		vpn -= 50
+	}
+	out := p.OnMiss(20, 0x400000) // distance -30; nothing learned for it
+	for _, v := range out {
+		if int64(v) <= 0 {
+			t.Errorf("negative/zero prefetch target %d", v)
+		}
+	}
+}
+
+func TestPrefetchStorage(t *testing.T) {
+	p := newDP(t)
+	// 256 entries × (16-bit tag + 2×16-bit distances + valid) ≈ 1.5 KB.
+	kb := float64(p.StorageBits()) / 8 / 1024
+	if kb < 1 || kb > 2 {
+		t.Errorf("storage = %.2f KB, want ≈1.5 KB", kb)
+	}
+}
+
+// Property: prefetch fan-out never exceeds the configured ways.
+func TestPrefetchFanoutProperty(t *testing.T) {
+	f := func(vpns []uint16) bool {
+		p, err := NewDistancePrefetcher(DefaultDistancePrefetcherConfig())
+		if err != nil {
+			return false
+		}
+		for _, v := range vpns {
+			if len(p.OnMiss(arch.VPN(v)+1, 0x400000)) > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

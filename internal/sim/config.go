@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/cpu"
+	"repro/internal/pagetable"
+	"repro/internal/policy"
+	"repro/internal/tlb"
+	"repro/internal/walker"
+)
+
+// CacheConfig sizes one data-cache level.
+type CacheConfig struct {
+	// Name labels the level ("L1D", "L2", "LLC").
+	Name string
+	// SizeKB is the capacity in kibibytes.
+	SizeKB int
+	// Ways is the associativity.
+	Ways int
+	// Latency is the hit latency from the core in cycles.
+	Latency arch.Lat
+	// Policy is the replacement policy; nil means LRU.
+	Policy policy.Policy
+}
+
+// blocks returns the level's total block count.
+func (c CacheConfig) blocks() int { return c.SizeKB * 1024 / arch.BlockSize }
+
+// sets returns the level's set count.
+func (c CacheConfig) sets() int { return c.blocks() / c.Ways }
+
+// validate checks the level's geometry.
+func (c CacheConfig) validate() error {
+	if c.SizeKB <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("sim: cache %q needs positive size and ways", c.Name)
+	}
+	if c.blocks()%c.Ways != 0 {
+		return fmt.Errorf("sim: cache %q: %d blocks not divisible by %d ways",
+			c.Name, c.blocks(), c.Ways)
+	}
+	return nil
+}
+
+// Config describes the whole simulated machine.
+type Config struct {
+	// L1ITLB, L1DTLB and LLT configure the TLB hierarchy.
+	L1ITLB, L1DTLB, LLT tlb.Config
+	// PWC configures the page-walk caches.
+	PWC walker.Config
+	// L1D, L2 and LLC configure the data-cache hierarchy. The LLC is
+	// inclusive: its evictions back-invalidate L1D and L2.
+	L1D, L2, LLC CacheConfig
+	// MemLatency is the main-memory access latency beyond the LLC.
+	MemLatency arch.Lat
+	// Core configures the timing model.
+	Core cpu.Config
+	// PhysMemMB sizes simulated physical memory.
+	PhysMemMB uint64
+	// Alloc selects the frame-allocation order.
+	Alloc pagetable.AllocPolicy
+	// Seed perturbs the frame allocator's scramble.
+	Seed uint64
+}
+
+// DefaultConfig reproduces the paper's Table I machine.
+func DefaultConfig() Config {
+	return Config{
+		L1ITLB:     tlb.Config{Name: "L1I-TLB", Entries: 128, Ways: 4, Latency: 1},
+		L1DTLB:     tlb.Config{Name: "L1D-TLB", Entries: 64, Ways: 4, Latency: 1},
+		LLT:        tlb.Config{Name: "LLT", Entries: 1024, Ways: 8, Latency: 8},
+		PWC:        walker.DefaultConfig(),
+		L1D:        CacheConfig{Name: "L1D", SizeKB: 32, Ways: 8, Latency: 5},
+		L2:         CacheConfig{Name: "L2", SizeKB: 256, Ways: 8, Latency: 11},
+		LLC:        CacheConfig{Name: "LLC", SizeKB: 2048, Ways: 16, Latency: 40},
+		MemLatency: 191,
+		Core:       cpu.DefaultConfig(),
+		PhysMemMB:  4096,
+		Alloc:      pagetable.AllocScrambled,
+		Seed:       1,
+	}
+}
+
+// validate checks the whole configuration.
+func (c Config) validate() error {
+	for _, cc := range []CacheConfig{c.L1D, c.L2, c.LLC} {
+		if err := cc.validate(); err != nil {
+			return err
+		}
+	}
+	if c.PhysMemMB == 0 {
+		return fmt.Errorf("sim: PhysMemMB must be positive")
+	}
+	return nil
+}

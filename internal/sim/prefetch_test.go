@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/pred"
+	"repro/internal/trace"
+)
+
+// strideGen emits a perfect page-stride pattern with enough compute
+// between misses that the page walker has idle slots — the best case for
+// (low-priority) distance prefetching.
+type strideGen struct {
+	vpn arch.VPN
+}
+
+func (g *strideGen) Name() string { return "stride" }
+func (g *strideGen) Next() trace.Access {
+	g.vpn += 2
+	return trace.Access{PC: 0x400000, Addr: g.vpn.Addr(), Gap: 120}
+}
+
+func TestDistancePrefetcherCutsStrideWalks(t *testing.T) {
+	mk := func(withPref bool) Result {
+		s := MustNew(smallConfig())
+		if withPref {
+			p, err := pred.NewDistancePrefetcher(pred.DefaultDistancePrefetcherConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.SetTLBPrefetcher(p)
+		}
+		// Touch the pages once first so prefetch targets are mapped
+		// (prefetchers never fault in new pages).
+		g := &strideGen{vpn: 0x100000}
+		if err := s.Run(g, 30_000); err != nil {
+			t.Fatal(err)
+		}
+		g.vpn = 0x100000 // restart the sweep over now-mapped pages
+		s.StartMeasurement()
+		if err := s.Run(g, 20_000); err != nil {
+			t.Fatal(err)
+		}
+		return s.Result()
+	}
+	base := mk(false)
+	pref := mk(true)
+	if pref.Walks >= base.Walks/2 {
+		t.Errorf("prefetching left %d walks of %d; stride should be nearly fully covered",
+			pref.Walks, base.Walks)
+	}
+	if pref.IPC <= base.IPC {
+		t.Errorf("prefetch IPC %.4f ≤ baseline %.4f", pref.IPC, base.IPC)
+	}
+}
+
+func TestPrefetchStatsCount(t *testing.T) {
+	s := MustNew(smallConfig())
+	p, err := pred.NewDistancePrefetcher(pred.DefaultDistancePrefetcherConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetTLBPrefetcher(p)
+	g := &strideGen{vpn: 0x200000}
+	if err := s.Run(g, 30_000); err != nil {
+		t.Fatal(err)
+	}
+	g.vpn = 0x200000
+	if err := s.Run(g, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	issued, useful := s.PrefetchStats()
+	if issued == 0 {
+		t.Fatal("no prefetch fills issued on a perfect stride")
+	}
+	if useful == 0 {
+		t.Error("no prefetch fill was ever hit")
+	}
+	if useful > issued {
+		t.Errorf("useful %d > issued %d", useful, issued)
+	}
+}
+
+func TestPrefetchDoesNotFaultNewPages(t *testing.T) {
+	s := MustNew(smallConfig())
+	p, err := pred.NewDistancePrefetcher(pred.DefaultDistancePrefetcherConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetTLBPrefetcher(p)
+	g := &strideGen{vpn: 0x300000}
+	if err := s.Run(g, 5_000); err != nil {
+		t.Fatal(err)
+	}
+	// Pages mapped must equal pages demanded (plus code/PT): the
+	// prefetcher must not allocate beyond the demand stream.
+	demanded := uint64(5_000) // one new page per access on this stride
+	mapped := s.PageTable().MappedPages()
+	if mapped > demanded+16 {
+		t.Errorf("%d pages mapped for %d demanded; prefetcher faulted pages in", mapped, demanded)
+	}
+}
+
+func TestPrefetchedEntriesDoNotTrainDPPred(t *testing.T) {
+	s := MustNew(smallConfig())
+	dp, err := newTestDPPred(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetTLBPredictor(dp)
+	p, err := pred.NewDistancePrefetcher(pred.DefaultDistancePrefetcherConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetTLBPrefetcher(p)
+	g := &strideGen{vpn: 0x400000}
+	if err := s.Run(g, 30_000); err != nil {
+		t.Fatal(err)
+	}
+	g.vpn = 0x400000
+	if err := s.Run(g, 30_000); err != nil {
+		t.Fatal(err)
+	}
+	// The PC hash 0 row (used by prefetched fills if they trained)
+	// must not have been trained by prefetched evictions: we can't
+	// observe rows directly here, but the combination must at least
+	// keep running correctly and produce bypasses from the demand PCs.
+	st := dp.Stats()
+	if st.Increments == 0 {
+		t.Error("dpPred saw no demand training at all")
+	}
+}
+
+// newTestDPPred builds a default dpPred for the system's LLT.
+func newTestDPPred(s *System) (*core.DPPred, error) {
+	return core.NewDPPred(core.DefaultDPPredConfig(s.LLT().Entries()))
+}

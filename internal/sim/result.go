@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/stats"
+)
+
+// newCore adapts the cpu package to the coreModel seam.
+func newCore(cfg cpu.Config) (coreModel, error) {
+	return cpu.New(cfg)
+}
+
+// snapshot captures the monotone counters a measurement subtracts.
+type snapshot struct {
+	instructions uint64
+	cycles       float64
+	accesses     uint64
+	walks        uint64
+	shadowFills  uint64
+	lltLookups   uint64
+	lltMisses    uint64
+	llcLookups   uint64
+	llcMisses    uint64
+	llcBypasses  uint64
+	lltBypasses  uint64
+	ptAccesses   uint64
+	walkCycles   uint64
+	walkQueue    uint64
+
+	l1dLookups, l1dMisses   uint64
+	l2Lookups, l2Misses     uint64
+	itlbLookups, itlbMisses uint64
+	dtlbLookups, dtlbMisses uint64
+	pwcHits                 [3]uint64
+	fullWalks               uint64
+}
+
+func (s *System) snap() snapshot {
+	llt := s.llt.Stats()
+	llc := s.llc.Stats()
+	l1d := s.l1d.Stats()
+	l2 := s.l2.Stats()
+	itlb := s.itlb.Stats()
+	dtlb := s.dtlb.Stats()
+	wk := s.walk.Stats()
+	return snapshot{
+		l1dLookups: l1d.Lookups, l1dMisses: l1d.Misses,
+		l2Lookups: l2.Lookups, l2Misses: l2.Misses,
+		itlbLookups: itlb.Lookups, itlbMisses: itlb.Misses,
+		dtlbLookups: dtlb.Lookups, dtlbMisses: dtlb.Misses,
+		pwcHits:      wk.PWCHits,
+		fullWalks:    wk.FullWalks,
+		instructions: s.core.Instructions(),
+		cycles:       s.core.Cycles(),
+		accesses:     s.accesses,
+		walks:        s.walks,
+		shadowFills:  s.shadowFills,
+		lltLookups:   llt.Lookups,
+		lltMisses:    llt.Misses,
+		llcLookups:   llc.Lookups,
+		llcMisses:    llc.Misses,
+		llcBypasses:  llc.Bypasses,
+		lltBypasses:  llt.Bypasses,
+		ptAccesses:   s.walk.Stats().PTAccesses,
+		walkCycles:   s.walk.Stats().WalkCycles,
+		walkQueue:    s.walkQueueCycles,
+	}
+}
+
+// StartMeasurement marks the end of warmup: the Result will report only
+// activity after this point. Instrumentation enabled earlier keeps
+// accumulating; enable it just before calling this to scope it to the
+// measured region.
+func (s *System) StartMeasurement() { s.base = s.snap() }
+
+// Result summarizes a measured region.
+type Result struct {
+	// Instructions and Cycles cover the measured region; IPC is their
+	// ratio.
+	Instructions uint64
+	Cycles       float64
+	IPC          float64
+
+	// MemAccesses is the number of trace records processed.
+	MemAccesses uint64
+
+	// LLT-side counters. Walks excludes misses served by a predictor's
+	// victim buffer; LLTMPKI is walks per kilo-instruction (the paper's
+	// LLT miss metric — every walk is a real page-table walk).
+	LLTLookups, LLTMisses, Walks, ShadowFills, LLTBypasses uint64
+	LLTMPKI                                                float64
+
+	// LLC-side counters; LLCMPKI is LLC misses per kilo-instruction.
+	LLCLookups, LLCMisses, LLCBypasses uint64
+	LLCMPKI                            float64
+
+	// PTAccesses is the number of PTE fetches issued by the walker.
+	PTAccesses uint64
+	// WalkCycles is the summed raw walk latency; WalkQueueCycles is the
+	// additional time walks queued behind the single page walker.
+	WalkCycles, WalkQueueCycles uint64
+
+	// Per-level breakdowns: the inner cache levels, split L1 TLBs and
+	// the page-walk caches.
+	L1DLookups, L1DMisses   uint64
+	L2Lookups, L2Misses     uint64
+	ITLBLookups, ITLBMisses uint64
+	DTLBLookups, DTLBMisses uint64
+	// PWCHits counts page-walk-cache hits per level (0 = PDE cache);
+	// FullWalks counts walks that missed every PWC level.
+	PWCHits   [3]uint64
+	FullWalks uint64
+
+	// AvgMemLatency is the mean hierarchy latency per memory op over the
+	// whole run (the core does not snapshot per-region).
+	AvgMemLatency float64
+
+	// Instrumentation results (zero values when not enabled).
+	LLTAccuracy stats.AccuracyResult
+	LLCAccuracy stats.AccuracyResult
+	LLTDead     stats.DeadResult
+	LLCDead     stats.DeadResult
+	Correlation stats.CorrelationResult
+}
+
+// Result computes the summary for everything since StartMeasurement.
+func (s *System) Result() Result {
+	cur := s.snap()
+	b := s.base
+	r := Result{
+		Instructions:    cur.instructions - b.instructions,
+		Cycles:          cur.cycles - b.cycles,
+		MemAccesses:     cur.accesses - b.accesses,
+		LLTLookups:      cur.lltLookups - b.lltLookups,
+		LLTMisses:       cur.lltMisses - b.lltMisses,
+		Walks:           cur.walks - b.walks,
+		ShadowFills:     cur.shadowFills - b.shadowFills,
+		LLTBypasses:     cur.lltBypasses - b.lltBypasses,
+		LLCLookups:      cur.llcLookups - b.llcLookups,
+		LLCMisses:       cur.llcMisses - b.llcMisses,
+		LLCBypasses:     cur.llcBypasses - b.llcBypasses,
+		PTAccesses:      cur.ptAccesses - b.ptAccesses,
+		WalkCycles:      cur.walkCycles - b.walkCycles,
+		WalkQueueCycles: cur.walkQueue - b.walkQueue,
+		AvgMemLatency:   s.core.AvgMemLatency(),
+		L1DLookups:      cur.l1dLookups - b.l1dLookups,
+		L1DMisses:       cur.l1dMisses - b.l1dMisses,
+		L2Lookups:       cur.l2Lookups - b.l2Lookups,
+		L2Misses:        cur.l2Misses - b.l2Misses,
+		ITLBLookups:     cur.itlbLookups - b.itlbLookups,
+		ITLBMisses:      cur.itlbMisses - b.itlbMisses,
+		DTLBLookups:     cur.dtlbLookups - b.dtlbLookups,
+		DTLBMisses:      cur.dtlbMisses - b.dtlbMisses,
+		FullWalks:       cur.fullWalks - b.fullWalks,
+	}
+	for i := range r.PWCHits {
+		r.PWCHits[i] = cur.pwcHits[i] - b.pwcHits[i]
+	}
+	if r.Cycles > 0 {
+		r.IPC = float64(r.Instructions) / r.Cycles
+	}
+	if r.Instructions > 0 {
+		ki := float64(r.Instructions) / 1000
+		r.LLTMPKI = float64(r.Walks) / ki
+		r.LLCMPKI = float64(r.LLCMisses) / ki
+	}
+	if s.lltAcc != nil {
+		r.LLTAccuracy = s.lltAcc.Result()
+		r.LLCAccuracy = s.llcAcc.Result()
+	}
+	if s.lltSampler != nil {
+		r.LLTDead = s.lltSampler.Result()
+		r.LLCDead = s.llcSampler.Result()
+	}
+	if s.corr != nil {
+		r.Correlation = s.corr.Result()
+	}
+	return r
+}

@@ -1,0 +1,487 @@
+// Package sim wires the substrates into the paper's full machine: split L1
+// TLBs over a unified L2 TLB (the LLT), a radix page walker with page-walk
+// caches whose PTE fetches traverse the data caches, a three-level
+// inclusive cache hierarchy, and the timing core. Predictors plug into the
+// LLT and LLC fill/evict paths exactly at the hook points Figures 6 and 8
+// describe; instrumentation (accuracy mirrors, dead-entry samplers, the
+// Table III correlation tracker) observes the same events.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/pagetable"
+	"repro/internal/policy"
+	"repro/internal/pred"
+	"repro/internal/stats"
+	"repro/internal/tlb"
+	"repro/internal/trace"
+	"repro/internal/walker"
+	"repro/internal/xhash"
+)
+
+// System is one simulated machine instance.
+type System struct {
+	cfg Config
+
+	itlb, dtlb, llt *tlb.TLB
+	pt              *pagetable.PageTable
+	walk            *walker.Walker
+	l1d, l2, llc    *cache.Cache
+	core            coreModel
+
+	tlbPred pred.TLBPredictor
+	llcPred pred.LLCPredictor
+	tlbPref pred.TLBPrefetcher
+
+	prefFills  uint64
+	prefUseful uint64
+
+	// Instrumentation (nil unless enabled).
+	lltAcc      *stats.AccuracyTracker
+	llcAcc      *stats.AccuracyTracker
+	lltSampler  *stats.DeadSampler
+	llcSampler  *stats.DeadSampler
+	corr        *stats.DOACorrelation
+	sampleEvery uint64
+
+	// Counters owned by the system.
+	accesses    uint64
+	walks       uint64
+	shadowFills uint64
+
+	// walkerBusyUntil models the single hardware page walker: concurrent
+	// LLT misses queue behind it, so walk latency cannot be hidden by
+	// memory-level parallelism (the paper's premise, §I).
+	walkerBusyUntil uint64
+	// walkQueueCycles accumulates time walks spent waiting for the
+	// walker (reported for diagnostics).
+	walkQueueCycles uint64
+
+	// Measurement baseline (set by StartMeasurement).
+	base snapshot
+}
+
+// coreModel is the slice of the timing core the system needs; it lets
+// tests substitute a fixed-latency core.
+type coreModel interface {
+	Advance(n uint64)
+	Memory(latency uint64, dependent bool)
+	Cycles() float64
+	Instructions() uint64
+	MemOps() uint64
+	AvgMemLatency() float64
+}
+
+// New builds a machine from the configuration with null predictors.
+func New(cfg Config) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, tlbPred: pred.NullTLB{}, llcPred: pred.NullLLC{},
+		sampleEvery: 50_000}
+
+	var err error
+	if s.itlb, err = tlb.New(cfg.L1ITLB); err != nil {
+		return nil, err
+	}
+	if s.dtlb, err = tlb.New(cfg.L1DTLB); err != nil {
+		return nil, err
+	}
+	if s.llt, err = tlb.New(cfg.LLT); err != nil {
+		return nil, err
+	}
+	alloc, err := pagetable.NewAllocator(cfg.PhysMemMB<<20/arch.PageSize, cfg.Alloc, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if s.pt, err = pagetable.New(alloc); err != nil {
+		return nil, err
+	}
+	if s.walk, err = walker.New(s.pt, cfg.PWC, s.ptFetch); err != nil {
+		return nil, err
+	}
+	mk := func(cc CacheConfig) (*cache.Cache, error) {
+		return cache.New(cache.Config{Name: cc.Name, Sets: cc.sets(), Ways: cc.Ways, Policy: cc.Policy})
+	}
+	if s.l1d, err = mk(cfg.L1D); err != nil {
+		return nil, err
+	}
+	if s.l2, err = mk(cfg.L2); err != nil {
+		return nil, err
+	}
+	if s.llc, err = mk(cfg.LLC); err != nil {
+		return nil, err
+	}
+	core, err := newCore(cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	s.core = core
+	return s, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SetTLBPredictor installs the LLT predictor (nil restores the baseline).
+func (s *System) SetTLBPredictor(p pred.TLBPredictor) {
+	if p == nil {
+		p = pred.NullTLB{}
+	}
+	s.tlbPred = p
+}
+
+// SetLLCPredictor installs the LLC predictor (nil restores the baseline).
+func (s *System) SetLLCPredictor(p pred.LLCPredictor) {
+	if p == nil {
+		p = pred.NullLLC{}
+	}
+	s.llcPred = p
+}
+
+// SetTLBPrefetcher installs a TLB prefetcher (extension; nil disables).
+// Prefetched translations are installed in the LLT off the critical path,
+// consuming page-walker occupancy but adding no latency to the triggering
+// miss.
+func (s *System) SetTLBPrefetcher(p pred.TLBPrefetcher) { s.tlbPref = p }
+
+// PrefetchStats reports (fills installed, fills that later hit).
+func (s *System) PrefetchStats() (issued, useful uint64) {
+	return s.prefFills, s.prefUseful
+}
+
+// LLT exposes the last-level TLB (predictor constructors need its backing
+// structure).
+func (s *System) LLT() *tlb.TLB { return s.llt }
+
+// LLC exposes the last-level cache.
+func (s *System) LLC() *cache.Cache { return s.llc }
+
+// Walker exposes the page walker (for stats).
+func (s *System) Walker() *walker.Walker { return s.walk }
+
+// PageTable exposes the page table (for stats).
+func (s *System) PageTable() *pagetable.PageTable { return s.pt }
+
+// Config returns the machine configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// EnableAccuracyTracking creates the mirror structures that grade LLT and
+// LLC fill-time DOA predictions (§VI-C).
+func (s *System) EnableAccuracyTracking() error {
+	la, err := stats.NewAccuracyTracker("LLT", s.llt.Inner().Sets(), s.llt.Inner().Ways(), s.cfg.LLT.Policy)
+	if err != nil {
+		return err
+	}
+	ca, err := stats.NewAccuracyTracker("LLC", s.llc.Sets(), s.llc.Ways(), s.cfg.LLC.Policy)
+	if err != nil {
+		return err
+	}
+	s.lltAcc, s.llcAcc = la, ca
+	return nil
+}
+
+// EnableCharacterization creates the §IV dead-entry samplers and the
+// Table III correlation tracker. sampleEvery is the number of data
+// accesses between residency snapshots (0 keeps the default).
+func (s *System) EnableCharacterization(sampleEvery uint64) {
+	if sampleEvery != 0 {
+		s.sampleEvery = sampleEvery
+	}
+	s.lltSampler = stats.NewDeadSampler()
+	s.llcSampler = stats.NewDeadSampler()
+	s.corr = stats.NewDOACorrelation()
+}
+
+// now returns the timestamp used for entry metadata: the core's cycle.
+func (s *System) now() uint64 { return uint64(s.core.Cycles()) }
+
+// Step feeds one trace record through the machine.
+func (s *System) Step(a trace.Access) error {
+	if a.Gap > 0 {
+		s.core.Advance(uint64(a.Gap))
+	}
+	s.accesses++
+
+	// Instruction-side translation: the fetch of the memory instruction
+	// itself. L1 I-TLB hits are free; misses go through the shared LLT.
+	iLat, _, err := s.translate(arch.VAddr(a.PC).Page(), a.PC, true)
+	if err != nil {
+		return err
+	}
+
+	// Data-side translation.
+	dLat, pfn, err := s.translate(a.Addr.Page(), a.PC, false)
+	if err != nil {
+		return err
+	}
+
+	// Data access through the cache hierarchy.
+	pa := arch.Translate(pfn, a.Addr)
+	memLat := s.memAccess(pa, a.PC, a.Write)
+
+	s.core.Memory(uint64(iLat)+uint64(dLat)+uint64(memLat), a.Dependent)
+
+	if s.lltSampler != nil && s.accesses%s.sampleEvery == 0 {
+		s.lltSampler.Sample(s.llt.Inner())
+		s.llcSampler.Sample(s.llc)
+	}
+	return nil
+}
+
+// Run feeds n accesses from the generator.
+func (s *System) Run(g trace.Generator, n uint64) error {
+	for i := uint64(0); i < n; i++ {
+		if err := s.Step(g.Next()); err != nil {
+			return fmt.Errorf("sim: access %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// translate resolves a page through the TLB hierarchy, returning the extra
+// latency beyond a (free) L1 TLB hit.
+func (s *System) translate(vpn arch.VPN, pc uint64, instr bool) (arch.Lat, arch.PFN, error) {
+	l1 := s.dtlb
+	if instr {
+		l1 = s.itlb
+	}
+	now := s.now()
+	if pfn, ok := l1.Lookup(vpn, now); ok {
+		return 0, pfn, nil
+	}
+
+	// Unified L2 TLB (LLT). AIP-style predictors observe every access.
+	if obs, ok := s.tlbPred.(pred.AccessObserver); ok {
+		obs.OnAccess(uint64(vpn))
+	}
+	if b, ok := s.llt.Inner().Lookup(uint64(vpn), now); ok {
+		if b.Prefetched {
+			s.prefUseful++
+			b.Prefetched = false
+		}
+		s.tlbPred.OnHit(b)
+		if s.lltAcc != nil {
+			s.lltAcc.Access(uint64(vpn), false, now)
+		}
+		pfn := arch.PFN(b.Data)
+		s.fillL1TLB(l1, vpn, pfn)
+		return s.llt.Latency(), pfn, nil
+	}
+
+	// LLT miss: consult the predictor's victim buffer (shadow table)
+	// before walking (Fig. 6a).
+	if pfn, handled := s.tlbPred.OnMiss(vpn, pc); handled {
+		s.shadowFills++
+		s.lltFill(vpn, pfn, pc, pred.Decision{PCHash: uint16(xhash.PC(pc, 6))})
+		if s.lltAcc != nil {
+			s.lltAcc.Access(uint64(vpn), false, now)
+		}
+		s.fillL1TLB(l1, vpn, pfn)
+		return s.llt.Latency(), pfn, nil
+	}
+
+	// Page walk. The hash of the PC rides in the MSHR (we simply pass
+	// the PC to the fill decision). The single page walker serializes
+	// concurrent walks: the effective latency includes queueing.
+	s.walks++
+	res, err := s.walk.Walk(vpn)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := now
+	walkerWasIdle := s.walkerBusyUntil <= start
+	if !walkerWasIdle {
+		s.walkQueueCycles += s.walkerBusyUntil - start
+		start = s.walkerBusyUntil
+	}
+	s.walkerBusyUntil = start + uint64(res.Latency)
+	effWalk := arch.Lat(s.walkerBusyUntil - now)
+	d := s.tlbPred.OnFill(vpn, res.PFN, pc)
+	if s.lltAcc != nil {
+		s.lltAcc.Access(uint64(vpn), d.PredictDOA, now)
+	}
+	if d.Bypass {
+		s.llt.RecordBypass()
+		// Fig. 6b: announce the DOA page's frame to the LLC side.
+		if l, ok := s.llcPred.(pred.DOAPageListener); ok {
+			l.NotifyDOAPage(res.PFN)
+		}
+	} else {
+		s.lltFill(vpn, res.PFN, pc, d)
+	}
+	s.fillL1TLB(l1, vpn, res.PFN)
+
+	// Extension: distance prefetching. Prefetch walks run strictly at
+	// lower priority than demand walks: they are serviced in the
+	// walker's idle slots and dropped outright while a backlog exists,
+	// so prefetching never delays a demand walk (and consequently
+	// cannot help a walker-saturated workload — the "does not perform
+	// well across all applications" behaviour §VII cites).
+	if s.tlbPref != nil {
+		for _, cand := range s.tlbPref.OnMiss(vpn, pc) {
+			if !walkerWasIdle {
+				break
+			}
+			if _, resident := s.llt.Probe(cand); resident {
+				continue
+			}
+			pfn, mapped := s.pt.TranslateIfMapped(cand)
+			if !mapped {
+				continue
+			}
+			nb, victim, evicted := s.llt.Fill(cand, pfn, 0, policy.InsertMRU, s.now())
+			nb.Prefetched = true
+			if evicted && !victim.Prefetched {
+				s.tlbPred.OnEvict(victim)
+				if s.lltSampler != nil {
+					s.lltSampler.OnEvict(victim, s.now())
+				}
+			}
+			s.prefFills++
+		}
+	}
+	return s.llt.Latency() + effWalk, res.PFN, nil
+}
+
+// lltFill allocates an LLT entry and processes the resulting eviction.
+func (s *System) lltFill(vpn arch.VPN, pfn arch.PFN, pc uint64, d pred.Decision) {
+	now := s.now()
+	nb, victim, evicted := s.llt.Fill(vpn, pfn, d.PCHash, d.Hint, now)
+	nb.Sig = d.Sig
+	if ff, ok := s.tlbPred.(pred.FillFinisher); ok {
+		ff.OnFillDone(nb)
+	}
+	if !evicted {
+		return
+	}
+	if !victim.Prefetched {
+		s.tlbPred.OnEvict(victim)
+	}
+	if s.lltSampler != nil {
+		s.lltSampler.OnEvict(victim, now)
+	}
+	if s.corr != nil {
+		s.corr.OnPageEvict(arch.PFN(victim.Data), !victim.Accessed)
+	}
+}
+
+// fillL1TLB installs a translation in an L1 TLB; L1 evictions are silent
+// (the translation is already in the LLT or was bypassed deliberately).
+func (s *System) fillL1TLB(l1 *tlb.TLB, vpn arch.VPN, pfn arch.PFN) {
+	if _, ok := l1.Probe(vpn); ok {
+		return
+	}
+	l1.Fill(vpn, pfn, 0, policy.InsertMRU, s.now())
+}
+
+// ptFetch is the walker's window into the data caches: PTE fetches are
+// physically addressed and traverse the hierarchy like any other access
+// ("the page table contents are cached on the processor caches", §III).
+func (s *System) ptFetch(pa arch.PAddr) arch.Lat {
+	return s.memAccess(pa, ptWalkerPC, false)
+}
+
+// ptWalkerPC is the pseudo-PC attributed to the hardware walker's fetches.
+const ptWalkerPC = 0x00FF_FF00
+
+// memAccess sends a physical access through L1D → L2 → LLC → memory and
+// returns its latency. Fills propagate to all levels; LLC evictions
+// back-invalidate the inner levels (inclusive LLC).
+func (s *System) memAccess(pa arch.PAddr, pc uint64, write bool) arch.Lat {
+	now := s.now()
+	key := uint64(pa.Block() >> arch.BlockShift)
+
+	if b, ok := s.l1d.Lookup(key, now); ok {
+		b.Dirty = b.Dirty || write
+		return s.cfg.L1D.Latency
+	}
+	if _, ok := s.l2.Lookup(key, now); ok {
+		s.fillInner(s.l1d, key, write, now)
+		return s.cfg.L2.Latency
+	}
+
+	if obs, ok := s.llcPred.(pred.AccessObserver); ok {
+		obs.OnAccess(key)
+	}
+	if b, ok := s.llc.Lookup(key, now); ok {
+		s.llcPred.OnHit(b)
+		if s.llcAcc != nil {
+			s.llcAcc.Access(key, false, now)
+		}
+		s.fillInner(s.l2, key, false, now)
+		s.fillInner(s.l1d, key, write, now)
+		return s.cfg.LLC.Latency
+	}
+
+	// LLC miss → main memory; decide allocation (Fig. 8b).
+	d := s.llcPred.OnFill(key, pc)
+	if s.llcAcc != nil {
+		s.llcAcc.Access(key, d.PredictDOA, now)
+	}
+	if d.Bypass {
+		s.llc.RecordBypass()
+	} else {
+		nb, victim, evicted := s.llc.Fill(key, d.Hint, now)
+		nb.DP = d.SetDP
+		nb.Sig = d.Sig
+		nb.PCHash = d.PCHash
+		if ff, ok := s.llcPred.(pred.FillFinisher); ok {
+			ff.OnFillDone(nb)
+		}
+		if evicted {
+			s.llcPred.OnEvict(victim)
+			if s.llcSampler != nil {
+				s.llcSampler.OnEvict(victim, now)
+			}
+			if s.corr != nil {
+				s.corr.OnBlockEvict(blockFrame(victim.Key), victim.Hits)
+			}
+			// Inclusive LLC: drop inner copies.
+			s.l2.Invalidate(victim.Key)
+			s.l1d.Invalidate(victim.Key)
+		}
+	}
+	s.fillInner(s.l2, key, false, now)
+	s.fillInner(s.l1d, key, write, now)
+	return s.cfg.LLC.Latency + s.cfg.MemLatency
+}
+
+// blockFrame recovers the frame of a physical block number.
+func blockFrame(blockNum uint64) arch.PFN {
+	return arch.PFN(blockNum >> (arch.PageShift - arch.BlockShift))
+}
+
+// fillInner installs a block in an inner cache level; inner evictions are
+// silent (clean-eviction model).
+func (s *System) fillInner(c *cache.Cache, key uint64, write bool, now uint64) {
+	if b, ok := c.Probe(key); ok {
+		b.Dirty = b.Dirty || write
+		return
+	}
+	nb, _, _ := c.Fill(key, policy.InsertMRU, now)
+	nb.Dirty = write
+}
+
+// Finish resolves end-of-run instrumentation: samplers flush residents and
+// the correlation tracker classifies pages still in the LLT.
+func (s *System) Finish() {
+	if s.lltSampler != nil {
+		s.lltSampler.Finish(s.llt.Inner())
+		s.llcSampler.Finish(s.llc)
+	}
+	if s.corr != nil {
+		s.llt.Inner().ForEach(func(_, _ int, b *cache.Block) {
+			s.corr.OnPageResident(arch.PFN(b.Data), !b.Accessed)
+		})
+	}
+}

@@ -1,0 +1,88 @@
+package stats
+
+import "repro/internal/arch"
+
+// DOACorrelation measures Table III: the fraction of LLC DOA blocks whose
+// frame belongs to a DOA page in the LLT.
+//
+// The LLT side reports the DOA status of every evicted page; the tracker
+// remembers the most recent status per frame. When the LLC evicts a DOA
+// block (zero hits), the block is attributed to a DOA or non-DOA page by
+// that frame's last known status. Frames whose page never left the LLT are
+// classified by their current residency status, supplied by the caller at
+// Finish time if desired; until then they count as non-DOA (the
+// conservative direction for the paper's claim).
+type DOACorrelation struct {
+	pageDOA map[arch.PFN]bool
+
+	doaBlocks      uint64
+	doaOnDOAPage   uint64
+	doaOnUnknown   uint64
+	totalEvictions uint64
+}
+
+// NewDOACorrelation creates an empty tracker.
+func NewDOACorrelation() *DOACorrelation {
+	return &DOACorrelation{pageDOA: make(map[arch.PFN]bool)}
+}
+
+// OnPageEvict records the DOA status of a page leaving the LLT.
+func (c *DOACorrelation) OnPageEvict(frame arch.PFN, wasDOA bool) {
+	c.pageDOA[frame] = wasDOA
+}
+
+// OnPageResident lets the caller classify frames still resident in the LLT
+// at simulation end (Finish-time sweep).
+func (c *DOACorrelation) OnPageResident(frame arch.PFN, isDOASoFar bool) {
+	if _, known := c.pageDOA[frame]; !known {
+		c.pageDOA[frame] = isDOASoFar
+	}
+}
+
+// OnBlockEvict records an LLC eviction; only DOA blocks (zero hits) enter
+// the Table III statistic.
+func (c *DOACorrelation) OnBlockEvict(frame arch.PFN, blockHits uint64) {
+	c.totalEvictions++
+	if blockHits != 0 {
+		return
+	}
+	c.doaBlocks++
+	doa, known := c.pageDOA[frame]
+	switch {
+	case !known:
+		c.doaOnUnknown++
+	case doa:
+		c.doaOnDOAPage++
+	}
+}
+
+// CorrelationResult is the Table III statistic.
+type CorrelationResult struct {
+	// DOABlocks is the number of DOA block evictions observed.
+	DOABlocks uint64
+	// OnDOAPage is how many of them fell on a known DOA page.
+	OnDOAPage uint64
+	// OnUnknownPage is how many fell on frames with no LLT record.
+	OnUnknownPage uint64
+	// TotalEvictions is all LLC evictions (for DOA-rate context).
+	TotalEvictions uint64
+}
+
+// Percent returns the Table III number: the percentage of LLC DOA blocks
+// that map onto a DOA page.
+func (r CorrelationResult) Percent() float64 {
+	if r.DOABlocks == 0 {
+		return 0
+	}
+	return 100 * float64(r.OnDOAPage) / float64(r.DOABlocks)
+}
+
+// Result returns the current tallies.
+func (c *DOACorrelation) Result() CorrelationResult {
+	return CorrelationResult{
+		DOABlocks:      c.doaBlocks,
+		OnDOAPage:      c.doaOnDOAPage,
+		OnUnknownPage:  c.doaOnUnknown,
+		TotalEvictions: c.totalEvictions,
+	}
+}

@@ -1,0 +1,297 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+)
+
+// Pattern selects how a stream walks its region.
+type Pattern int
+
+const (
+	// Sequential walks the region element by element, wrapping.
+	Sequential Pattern = iota
+	// Strided walks with a fixed stride (often crossing pages), wrapping.
+	Strided
+	// Random touches uniformly random elements of the region (or of the
+	// current window when WindowSize is set).
+	Random
+	// PointerChase touches random elements with each access dependent on
+	// the previous one (a linked traversal).
+	PointerChase
+	// HotCold touches a small hot subset with probability HotFrac and
+	// the whole region otherwise.
+	HotCold
+	// Skewed draws elements with a power-law bias toward the front of
+	// the region (SkewAlpha controls concentration): a few ultra-hot
+	// pages, a warm band, and a long cold tail — the reuse profile of
+	// real graph data. All heat classes share the stream's PC, which is
+	// what makes dead-page prediction non-trivial.
+	Skewed
+)
+
+// StreamSpec describes one access stream of a workload: a set of
+// instruction sites walking one memory region with one pattern.
+type StreamSpec struct {
+	// Label names the stream in diagnostics ("neighbors", "rowptr"...).
+	Label string
+	// PC is the address of the stream's (first) instruction site.
+	PC uint64
+	// PCCount spreads the stream over this many distinct sites 16 bytes
+	// apart (default 1).
+	PCCount int
+	// Pattern is the walk pattern.
+	Pattern Pattern
+	// Base and Size delimit the stream's region in bytes.
+	Base arch.VAddr
+	Size uint64
+	// ElemSize is the access granularity in bytes (default 8).
+	ElemSize uint64
+	// Stride is the step for Strided walks (default ElemSize).
+	Stride uint64
+	// HotFrac and HotSize configure HotCold: HotFrac of accesses go to
+	// the first HotSize bytes of the region.
+	HotFrac float64
+	HotSize uint64
+	// SkewAlpha configures Skewed: the accessed element index is
+	// N·U^SkewAlpha for uniform U, so larger values concentrate accesses
+	// on the front of the region (must be ≥ 1).
+	SkewAlpha float64
+	// WindowSize confines Random/HotCold/PointerChase accesses to a
+	// sliding window that advances by WindowSize every PhaseLen
+	// accesses of the whole mix (frontier-style phase behaviour).
+	WindowSize uint64
+	// Weight is the stream's share of the mix.
+	Weight int
+	// Write marks the stream's accesses as stores.
+	Write bool
+}
+
+// MixSpec is a full workload specification.
+type MixSpec struct {
+	// Name is the workload name.
+	Name string
+	// GapMin and GapMax bound the uniform number of non-memory
+	// instructions between accesses.
+	GapMin, GapMax uint32
+	// PhaseLen is the number of accesses per phase for streams with a
+	// WindowSize (0 disables phasing).
+	PhaseLen uint64
+	// Streams is the weighted stream set; at least one required.
+	Streams []StreamSpec
+}
+
+// Validate checks the specification and fills defaults in place.
+func (m *MixSpec) Validate() error {
+	if len(m.Streams) == 0 {
+		return fmt.Errorf("trace %q: no streams", m.Name)
+	}
+	if m.GapMax < m.GapMin {
+		return fmt.Errorf("trace %q: GapMax < GapMin", m.Name)
+	}
+	for i := range m.Streams {
+		s := &m.Streams[i]
+		if s.ElemSize == 0 {
+			s.ElemSize = 8
+		}
+		if s.Stride == 0 {
+			s.Stride = s.ElemSize
+		}
+		if s.PCCount <= 0 {
+			s.PCCount = 1
+		}
+		if s.Weight <= 0 {
+			return fmt.Errorf("trace %q stream %q: weight must be positive", m.Name, s.Label)
+		}
+		if s.Size < s.ElemSize {
+			return fmt.Errorf("trace %q stream %q: region smaller than one element", m.Name, s.Label)
+		}
+		if s.Pattern == HotCold && (s.HotSize == 0 || s.HotSize > s.Size) {
+			return fmt.Errorf("trace %q stream %q: HotCold needs 0 < HotSize ≤ Size", m.Name, s.Label)
+		}
+		if s.Pattern == Skewed && s.SkewAlpha < 1 {
+			return fmt.Errorf("trace %q stream %q: Skewed needs SkewAlpha ≥ 1", m.Name, s.Label)
+		}
+		if s.WindowSize > s.Size {
+			return fmt.Errorf("trace %q stream %q: window larger than region", m.Name, s.Label)
+		}
+	}
+	return nil
+}
+
+// mixGen is the engine executing a MixSpec.
+type mixGen struct {
+	spec   MixSpec
+	r      *rng
+	totalW int
+	pos    []uint64   // per-stream element cursor
+	win    []uint64   // per-stream window base offset
+	sites  [][]uint64 // per-stream instruction-site PCs
+	count  uint64
+}
+
+// NewMix builds a generator from a specification (validated, with defaults
+// applied to a private copy).
+func NewMix(spec MixSpec, seed uint64) (Generator, error) {
+	spec.Streams = append([]StreamSpec(nil), spec.Streams...)
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &mixGen{
+		spec:  spec,
+		r:     newRNG(seed ^ hashName(spec.Name)),
+		pos:   make([]uint64, len(spec.Streams)),
+		win:   make([]uint64, len(spec.Streams)),
+		sites: make([][]uint64, len(spec.Streams)),
+	}
+	for i, s := range spec.Streams {
+		g.totalW += s.Weight
+		g.sites[i] = makeSites(s.PC, s.PCCount)
+	}
+	return g, nil
+}
+
+// makeSites scatters a stream's instruction sites pseudo-randomly within
+// 16 KB of its base PC. Compiled code places the loads of a loop nest at
+// irregular offsets; regular power-of-two spacing would interact with the
+// predictors' folding hashes in ways real binaries do not.
+func makeSites(base uint64, n int) []uint64 {
+	sites := make([]uint64, n)
+	seen := make(map[uint64]bool, n)
+	h := base
+	for i := range sites {
+		for {
+			h += 0x9e3779b97f4a7c15
+			z := h
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			pc := base + (z^(z>>31))%0x4000&^0xF
+			if !seen[pc] {
+				seen[pc] = true
+				sites[i] = pc
+				break
+			}
+		}
+	}
+	return sites
+}
+
+// hashName folds the workload name into the seed so that equal seeds give
+// unrelated streams across workloads.
+func hashName(name string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Name implements Generator.
+func (g *mixGen) Name() string { return g.spec.Name }
+
+// Next implements Generator.
+func (g *mixGen) Next() Access {
+	g.count++
+	if g.spec.PhaseLen != 0 && g.count%g.spec.PhaseLen == 0 {
+		g.advanceWindows()
+	}
+
+	si := g.pickStream()
+	s := &g.spec.Streams[si]
+
+	var off uint64
+	dependent := false
+	elems := g.spec.Streams[si].Size / s.ElemSize
+	switch s.Pattern {
+	case Sequential:
+		off = (g.pos[si] * s.ElemSize) % g.regionSpan(s)
+		g.pos[si]++
+	case Strided:
+		off = (g.pos[si] * s.Stride) % g.regionSpan(s)
+		g.pos[si]++
+	case Random:
+		off = g.windowed(si, s, g.r.Uint64n(elems)*s.ElemSize)
+	case PointerChase:
+		idx := g.r.Uint64n(elems)
+		if s.SkewAlpha >= 1 {
+			// Linked structures with skewed node popularity (mcf's
+			// network arcs) chase through hot and cold nodes alike.
+			idx = uint64(float64(elems) * math.Pow(g.r.Float64(), s.SkewAlpha))
+			if idx >= elems {
+				idx = elems - 1
+			}
+		}
+		off = g.windowed(si, s, idx*s.ElemSize)
+		dependent = true
+	case HotCold:
+		if g.r.Float64() < s.HotFrac {
+			hotElems := s.HotSize / s.ElemSize
+			off = g.r.Uint64n(hotElems) * s.ElemSize
+		} else {
+			off = g.windowed(si, s, g.r.Uint64n(elems)*s.ElemSize)
+		}
+	case Skewed:
+		idx := uint64(float64(elems) * math.Pow(g.r.Float64(), s.SkewAlpha))
+		if idx >= elems {
+			idx = elems - 1
+		}
+		off = g.windowed(si, s, idx*s.ElemSize)
+	}
+
+	pc := g.sites[si][0]
+	if s.PCCount > 1 {
+		pc = g.sites[si][g.r.Intn(s.PCCount)]
+	}
+
+	gap := g.spec.GapMin
+	if g.spec.GapMax > g.spec.GapMin {
+		gap += uint32(g.r.Uint64n(uint64(g.spec.GapMax-g.spec.GapMin) + 1))
+	}
+
+	return Access{
+		PC:        pc,
+		Addr:      s.Base + arch.VAddr(off),
+		Write:     s.Write,
+		Dependent: dependent,
+		Gap:       gap,
+	}
+}
+
+// regionSpan returns the wrap length for walking patterns, rounded down to
+// a whole element.
+func (g *mixGen) regionSpan(s *StreamSpec) uint64 {
+	return s.Size / s.ElemSize * s.ElemSize
+}
+
+// windowed confines a random offset to the stream's current window.
+func (g *mixGen) windowed(si int, s *StreamSpec, off uint64) uint64 {
+	if s.WindowSize == 0 {
+		return off
+	}
+	return (g.win[si] + off%s.WindowSize) % g.regionSpan(s)
+}
+
+// advanceWindows slides every windowed stream to its next phase.
+func (g *mixGen) advanceWindows() {
+	for i := range g.spec.Streams {
+		s := &g.spec.Streams[i]
+		if s.WindowSize != 0 {
+			g.win[i] = (g.win[i] + s.WindowSize) % g.regionSpan(s)
+		}
+	}
+}
+
+// pickStream selects a stream proportionally to its weight.
+func (g *mixGen) pickStream() int {
+	w := g.r.Intn(g.totalW)
+	for i := range g.spec.Streams {
+		w -= g.spec.Streams[i].Weight
+		if w < 0 {
+			return i
+		}
+	}
+	return len(g.spec.Streams) - 1
+}

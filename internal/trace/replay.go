@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+)
+
+// Trace file format: a fixed header followed by fixed-size little-endian
+// records. The format exists so users can bring traces from real systems
+// (e.g. converted from Pin or DynamoRIO logs) and replay them through the
+// simulator, or export the synthetic workloads for external analysis.
+//
+//	header:  magic "DPTR" | version u16 | flags u16 | name len u16 | name
+//	record:  pc u64 | vaddr u64 | gap u32 | flags u8 (bit0 write,
+//	         bit1 dependent) | pad [3]u8
+const (
+	traceMagic   = "DPTR"
+	traceVersion = 1
+	recordSize   = 8 + 8 + 4 + 1 + 3
+)
+
+const (
+	recFlagWrite     = 1 << 0
+	recFlagDependent = 1 << 1
+)
+
+// Writer streams accesses into a trace file.
+type Writer struct {
+	w   *bufio.Writer
+	buf [recordSize]byte
+	n   uint64
+}
+
+// NewWriter writes a trace header for the named workload and returns a
+// Writer for its records.
+func NewWriter(w io.Writer, name string) (*Writer, error) {
+	if len(name) > 1<<16-1 {
+		return nil, fmt.Errorf("trace: name too long (%d bytes)", len(name))
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	var hdr [6]byte
+	binary.LittleEndian.PutUint16(hdr[0:], traceVersion)
+	binary.LittleEndian.PutUint16(hdr[2:], 0) // flags
+	binary.LittleEndian.PutUint16(hdr[4:], uint16(len(name)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one access record.
+func (t *Writer) Write(a Access) error {
+	b := t.buf[:]
+	binary.LittleEndian.PutUint64(b[0:], a.PC)
+	binary.LittleEndian.PutUint64(b[8:], uint64(a.Addr))
+	binary.LittleEndian.PutUint32(b[16:], a.Gap)
+	var flags byte
+	if a.Write {
+		flags |= recFlagWrite
+	}
+	if a.Dependent {
+		flags |= recFlagDependent
+	}
+	b[20] = flags
+	b[21], b[22], b[23] = 0, 0, 0
+	if _, err := t.w.Write(b); err != nil {
+		return err
+	}
+	t.n++
+	return nil
+}
+
+// Records returns the number of records written.
+func (t *Writer) Records() uint64 { return t.n }
+
+// Flush flushes buffered records to the underlying writer.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Record captures n accesses from a generator into w.
+func Record(w io.Writer, g Generator, n uint64) error {
+	tw, err := NewWriter(w, g.Name())
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := tw.Write(g.Next()); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// Replayer is a Generator that reads a recorded trace. When the trace is
+// exhausted it either loops (Loop=true) or keeps returning the final
+// access, mirroring the scripted generators used in tests.
+type Replayer struct {
+	r    *bufio.Reader
+	name string
+	buf  [recordSize]byte
+	last Access
+	any  bool
+	// Loop restarts from the first record at EOF; requires the
+	// underlying reader to be an io.ReadSeeker.
+	loop   bool
+	seeker io.ReadSeeker
+	body   int64
+	// Err records the first read error (other than clean EOF handling);
+	// Next cannot return errors without breaking the Generator contract.
+	Err error
+}
+
+// NewReplayer opens a recorded trace. If loop is true the source must be
+// an io.ReadSeeker and the trace restarts at EOF; otherwise the final
+// access repeats.
+func NewReplayer(r io.Reader, loop bool) (*Replayer, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var hdr [6]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:]); v != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	nameLen := int(binary.LittleEndian.Uint16(hdr[4:]))
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	rp := &Replayer{r: br, name: string(name), loop: loop}
+	if loop {
+		rs, ok := r.(io.ReadSeeker)
+		if !ok {
+			return nil, errors.New("trace: looping replay needs an io.ReadSeeker")
+		}
+		rp.seeker = rs
+		rp.body = int64(4 + len(hdr) + nameLen)
+	}
+	return rp, nil
+}
+
+// Name implements Generator.
+func (t *Replayer) Name() string { return t.name }
+
+// Next implements Generator.
+func (t *Replayer) Next() Access {
+	if t.Err != nil {
+		return t.last
+	}
+	if _, err := io.ReadFull(t.r, t.buf[:]); err != nil {
+		if err == io.EOF && t.any {
+			if t.loop {
+				if _, serr := t.seeker.Seek(t.body, io.SeekStart); serr != nil {
+					t.Err = serr
+					return t.last
+				}
+				t.r.Reset(t.seeker)
+				return t.Next()
+			}
+			return t.last // repeat final access
+		}
+		t.Err = err
+		return t.last
+	}
+	t.any = true
+	b := t.buf[:]
+	flags := b[20]
+	t.last = Access{
+		PC:        binary.LittleEndian.Uint64(b[0:]),
+		Addr:      arch.VAddr(binary.LittleEndian.Uint64(b[8:])),
+		Gap:       binary.LittleEndian.Uint32(b[16:]),
+		Write:     flags&recFlagWrite != 0,
+		Dependent: flags&recFlagDependent != 0,
+	}
+	return t.last
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	w, err := ByName("cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	const n = 5000
+	if err := Record(&buf, w.New(9), n); err != nil {
+		t.Fatal(err)
+	}
+
+	rp, err := NewReplayer(bytes.NewReader(buf.Bytes()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Name() != "cc" {
+		t.Errorf("replayed name %q, want cc", rp.Name())
+	}
+	ref := w.New(9)
+	for i := 0; i < n; i++ {
+		got, want := rp.Next(), ref.Next()
+		if got != want {
+			t.Fatalf("record %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if rp.Err != nil {
+		t.Fatal(rp.Err)
+	}
+}
+
+func TestReplayRepeatsFinalAccessAtEOF(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, "mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accesses := []Access{
+		{PC: 1, Addr: 0x1000, Gap: 2},
+		{PC: 2, Addr: 0x2000, Gap: 3, Write: true, Dependent: true},
+	}
+	for _, a := range accesses {
+		if err := tw.Write(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tw.Records() != 2 {
+		t.Fatalf("Records = %d, want 2", tw.Records())
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewReplayer(bytes.NewReader(buf.Bytes()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.Next()
+	last := rp.Next()
+	for i := 0; i < 5; i++ {
+		if got := rp.Next(); got != last {
+			t.Fatalf("EOF repeat %d: got %+v, want %+v", i, got, last)
+		}
+	}
+	if rp.Err != nil {
+		t.Fatal(rp.Err)
+	}
+}
+
+func TestReplayLoops(t *testing.T) {
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf, "loop")
+	for i := 0; i < 3; i++ {
+		if err := tw.Write(Access{PC: uint64(i + 1), Addr: 0x1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tw.Flush()
+	rp, err := NewReplayer(bytes.NewReader(buf.Bytes()), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pcs []uint64
+	for i := 0; i < 7; i++ {
+		pcs = append(pcs, rp.Next().PC)
+	}
+	want := []uint64{1, 2, 3, 1, 2, 3, 1}
+	for i := range want {
+		if pcs[i] != want[i] {
+			t.Fatalf("looped sequence %v, want %v", pcs, want)
+		}
+	}
+	if rp.Err != nil {
+		t.Fatal(rp.Err)
+	}
+}
+
+func TestReplayerRejectsGarbage(t *testing.T) {
+	if _, err := NewReplayer(strings.NewReader("not a trace file"), false); err == nil {
+		t.Error("garbage header accepted")
+	}
+	if _, err := NewReplayer(strings.NewReader(""), false); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Looping replay over a non-seeker must be rejected up front.
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf, "x")
+	tw.Flush()
+	if _, err := NewReplayer(onlyReader{bytes.NewReader(buf.Bytes())}, true); err == nil {
+		t.Error("looping replay accepted a non-seeker")
+	}
+}
+
+// onlyReader hides the Seeker interface.
+type onlyReader struct{ r *bytes.Reader }
+
+func (o onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+func TestReplayerRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf, "v")
+	tw.Flush()
+	raw := buf.Bytes()
+	raw[4] = 99 // bump version field
+	if _, err := NewReplayer(bytes.NewReader(raw), false); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+// Property: any access round-trips bit-exactly through the record format.
+func TestRecordRoundTripProperty(t *testing.T) {
+	f := func(pc, addr uint64, gap uint32, w, d bool) bool {
+		a := Access{PC: pc, Addr: arch.VAddr(addr), Gap: gap, Write: w, Dependent: d}
+		var buf bytes.Buffer
+		tw, err := NewWriter(&buf, "p")
+		if err != nil {
+			return false
+		}
+		if err := tw.Write(a); err != nil {
+			return false
+		}
+		tw.Flush()
+		rp, err := NewReplayer(bytes.NewReader(buf.Bytes()), false)
+		if err != nil {
+			return false
+		}
+		return rp.Next() == a && rp.Err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

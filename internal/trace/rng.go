@@ -1,0 +1,55 @@
+package trace
+
+import "math/bits"
+
+// rng is a small, fast, deterministic generator (xoshiro256**-style state
+// seeded by splitmix64). The standard library's math/rand would work, but
+// its stream is not guaranteed stable across Go releases; experiment
+// reproducibility demands bit-stable streams.
+type rng struct {
+	s [4]uint64
+}
+
+// newRNG seeds a generator; any seed (including 0) is valid.
+func newRNG(seed uint64) *rng {
+	r := &rng{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next raw value.
+func (r *rng) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint64n returns a value in [0, n); n must be > 0.
+func (r *rng) Uint64n(n uint64) uint64 {
+	// Multiply-shift range reduction; bias is negligible for our n.
+	hi, _ := bits.Mul64(r.Uint64(), n)
+	return hi
+}
+
+// Intn returns a value in [0, n); n must be > 0.
+func (r *rng) Intn(n int) int { return int(r.Uint64n(uint64(n))) }
+
+// Float64 returns a value in [0, 1).
+func (r *rng) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

@@ -1,0 +1,59 @@
+// Package trace generates the memory-access traces that drive the
+// simulator. Real SPEC/GAPBS/Ligra/PARSEC/NPB binaries cannot run in this
+// offline environment, so each of the paper's 14 workloads (Table II) is
+// modelled as a deterministic synthetic generator that reproduces the
+// documented access structure of its namesake: CSR graph gathers, stencil
+// sweeps, sparse matrix–vector products, pointer chasing, random element
+// swaps (DESIGN.md, substitution 2).
+//
+// A workload is a weighted mix of streams, each with its own instruction
+// site (PC), memory region and access pattern. The decisive property for
+// this paper is which streams produce dead-on-arrival pages and blocks:
+// random gathers over large regions touch a page (and a block) once per
+// last-level-TLB generation — DOA — while sequential index scans touch
+// every line of a page before leaving it. Because streams have distinct
+// PCs, DOA behaviour correlates with the PC exactly as dpPred expects.
+package trace
+
+import "repro/internal/arch"
+
+// Access is one record of the trace.
+type Access struct {
+	// PC is the address of the memory instruction.
+	PC uint64
+	// Addr is the virtual byte address accessed.
+	Addr arch.VAddr
+	// Write marks stores.
+	Write bool
+	// Dependent marks accesses whose address depends on the previous
+	// memory access's result (pointer chasing); the timing model
+	// serializes them.
+	Dependent bool
+	// Gap is the number of non-memory instructions retired before this
+	// access.
+	Gap uint32
+}
+
+// Generator produces an unbounded deterministic access stream. Two
+// generators constructed with the same specification and seed produce
+// identical streams — the oracle's two-pass replay depends on it.
+type Generator interface {
+	// Name identifies the workload.
+	Name() string
+	// Next returns the next access.
+	Next() Access
+}
+
+// Workload is a named entry of the Table II suite.
+type Workload struct {
+	// Name is the paper's workload name ("cactusADM", "cc", ...).
+	Name string
+	// Suite is the benchmark suite the original came from.
+	Suite string
+	// Description summarizes the modelled access behaviour.
+	Description string
+	// FootprintMB is the synthetic working-set size.
+	FootprintMB int
+	// New constructs the generator for a seed.
+	New func(seed uint64) Generator
+}

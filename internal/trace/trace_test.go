@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := newRNG(1), newRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between different seeds", same)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	r := newRNG(7)
+	for _, n := range []uint64{1, 2, 3, 100, 1 << 40} {
+		for i := 0; i < 100; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := newRNG(9)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v", f)
+		}
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	bad := []MixSpec{
+		{Name: "empty"},
+		{Name: "gap", GapMin: 5, GapMax: 1,
+			Streams: []StreamSpec{{Size: 64, Weight: 1}}},
+		{Name: "weight", Streams: []StreamSpec{{Size: 64, Weight: 0}}},
+		{Name: "tiny", Streams: []StreamSpec{{Size: 4, ElemSize: 8, Weight: 1}}},
+		{Name: "hot", Streams: []StreamSpec{{Size: 64, Weight: 1, Pattern: HotCold}}},
+		{Name: "win", Streams: []StreamSpec{{Size: 64, Weight: 1, WindowSize: 128}}},
+	}
+	for _, spec := range bad {
+		if _, err := NewMix(spec, 1); err == nil {
+			t.Errorf("spec %q accepted", spec.Name)
+		}
+	}
+}
+
+func TestMixDeterministic(t *testing.T) {
+	w, err := ByName("cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := w.New(5), w.New(5)
+	for i := 0; i < 5000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("trace diverged at access %d", i)
+		}
+	}
+	c := w.New(6)
+	diff := false
+	aa := w.New(5)
+	for i := 0; i < 100; i++ {
+		if aa.Next() != c.Next() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestAllWorkloadsWellFormed(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 14 {
+		t.Fatalf("suite has %d workloads, want 14 (Table II)", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Suite == "" || w.Description == "" || w.FootprintMB <= 0 {
+			t.Errorf("workload %q missing metadata: %+v", w.Name, w)
+		}
+		g := w.New(1)
+		if g.Name() != w.Name {
+			t.Errorf("generator name %q != workload name %q", g.Name(), w.Name)
+		}
+	}
+}
+
+func TestAccessesStayInDeclaredRegions(t *testing.T) {
+	for _, w := range Workloads() {
+		g := w.New(3)
+		var lo, hi arch.VAddr = 1 << 62, 0
+		for i := 0; i < 20000; i++ {
+			a := g.Next()
+			if a.Addr < lo {
+				lo = a.Addr
+			}
+			if a.Addr > hi {
+				hi = a.Addr
+			}
+			if a.PC == 0 {
+				t.Fatalf("%s: zero PC", w.Name)
+			}
+		}
+		if lo < regionBase {
+			t.Errorf("%s: access below region base: %#x", w.Name, lo)
+		}
+		span := int((hi - lo) >> 20)
+		if span > 4*w.FootprintMB {
+			t.Errorf("%s: address span %d MB far exceeds footprint %d MB",
+				w.Name, span, w.FootprintMB)
+		}
+	}
+}
+
+func TestFootprintReasonablyCovered(t *testing.T) {
+	// Every workload should touch a large number of distinct pages —
+	// they are chosen to pressure a 1024-entry LLT.
+	for _, w := range Workloads() {
+		g := w.New(11)
+		pages := map[arch.VPN]bool{}
+		for i := 0; i < 200000; i++ {
+			pages[g.Next().Addr.Page()] = true
+		}
+		if len(pages) < 2048 {
+			t.Errorf("%s touches only %d distinct pages in 200k accesses",
+				w.Name, len(pages))
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("doom3"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestPointerChaseMarksDependent(t *testing.T) {
+	w, err := ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.New(1)
+	dep := 0
+	for i := 0; i < 10000; i++ {
+		if g.Next().Dependent {
+			dep++
+		}
+	}
+	if dep == 0 {
+		t.Error("mcf produced no dependent accesses")
+	}
+}
+
+func TestGapsWithinBounds(t *testing.T) {
+	for _, w := range Workloads() {
+		g := w.New(2)
+		for i := 0; i < 1000; i++ {
+			a := g.Next()
+			if a.Gap > 64 {
+				t.Fatalf("%s: gap %d implausibly large", w.Name, a.Gap)
+			}
+		}
+	}
+}
+
+func TestPhasedStreamsMoveWindows(t *testing.T) {
+	w, err := ByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.New(4)
+	// Collect the frontier stream's pages early and late: the windows
+	// must shift (different page sets).
+	early := map[arch.VPN]bool{}
+	for i := 0; i < 10000; i++ {
+		early[g.Next().Addr.Page()] = true
+	}
+	for i := 0; i < 300000; i++ {
+		g.Next()
+	}
+	late := map[arch.VPN]bool{}
+	for i := 0; i < 10000; i++ {
+		late[g.Next().Addr.Page()] = true
+	}
+	common := 0
+	for p := range late {
+		if early[p] {
+			common++
+		}
+	}
+	if common > len(late)*3/4 {
+		t.Errorf("windows did not move: %d/%d pages shared", common, len(late))
+	}
+}
+
+// Property: the mix engine respects stream weights within sampling noise.
+func TestWeightsRespectedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		spec := MixSpec{
+			Name: "wtest",
+			Streams: []StreamSpec{
+				{Label: "a", PC: 0x1000, Pattern: Sequential, Base: 0x10000, Size: 1 * mb, Weight: 3},
+				{Label: "b", PC: 0x2000, Pattern: Sequential, Base: 0x200000, Size: 1 * mb, Weight: 1},
+			},
+		}
+		g, err := NewMix(spec, seed)
+		if err != nil {
+			return false
+		}
+		const n = 20000
+		aCount := 0
+		for i := 0; i < n; i++ {
+			if g.Next().Addr < 0x200000 {
+				aCount++
+			}
+		}
+		frac := float64(aCount) / n
+		return frac > 0.70 && frac < 0.80 // expected 0.75
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

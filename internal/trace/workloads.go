@@ -1,0 +1,487 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Region bases: each workload lays its regions out from lowBase upward
+// with generous guard gaps, so streams never alias.
+const (
+	regionBase  = arch.VAddr(0x1000_0000)
+	regionAlign = 4 << 20 // 4 MB guard/alignment between regions
+)
+
+// layout assigns non-overlapping region bases.
+type layout struct {
+	next arch.VAddr
+}
+
+func newLayout() *layout { return &layout{next: regionBase} }
+
+func (l *layout) region(size uint64) arch.VAddr {
+	base := l.next
+	span := (arch.VAddr(size) + regionAlign - 1) / regionAlign * regionAlign
+	l.next += span + regionAlign
+	return base
+}
+
+// pcBase gives each workload a distinct code page so instruction-side
+// translations do not alias across experiments.
+func pcBase(i int) uint64 { return 0x0040_0000 + uint64(i)<<20 }
+
+const (
+	kb = uint64(1) << 10
+	mb = uint64(1) << 20
+)
+
+// Workloads returns the Table II suite in the paper's order.
+//
+// The decisive modelling choice (§IV intuition): reuse within a data
+// structure is power-law skewed and shares instruction sites, so a PC sees
+// a mix of ultra-hot, warm and dead-on-arrival pages. Streaming sweeps and
+// index scans are pure-DOA from stable PCs; gathers carry Zipf-like skew.
+// That is what lets dpPred's two-dimensional (PC × VPN) table, conservative
+// threshold and shadow-table feedback beat a per-PC signature predictor,
+// exactly as §VI argues.
+func Workloads() []Workload {
+	return []Workload{
+		cactusADM(), cc(), cgB(), sssp(), lbm(), triangle(), kcore(),
+		canneal(), pr(), graph500(), bfs(), bc(), mis(), mcf(),
+	}
+}
+
+// ByName finds a workload by its Table II name.
+func ByName(name string) (Workload, error) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("trace: unknown workload %q", name)
+}
+
+// mustMix wraps NewMix for the static specifications below, which are
+// validated by tests.
+func mustMix(spec MixSpec, seed uint64) Generator {
+	g, err := NewMix(spec, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// cactusADM — SPEC 2006 general-relativity stencil. The solver sweeps a
+// large grid with page-crossing strides (every access a fresh page: pure
+// DOA from stable PCs) while a skewed coefficient-table working set wants
+// to stay resident. Bypassing the sweep protects the tables — the paper's
+// biggest winner.
+func cactusADM() Workload {
+	const idx = 0
+	l := newLayout()
+	grid := l.region(56 * mb)
+	coeff := l.region(8 * mb)
+	bound := l.region(512 * kb)
+	spec := MixSpec{
+		Name:   "cactusADM",
+		GapMin: 2, GapMax: 6,
+		Streams: []StreamSpec{
+			{Label: "grid-sweep", PC: pcBase(idx), PCCount: 24, Pattern: Strided,
+				Base: grid, Size: 56 * mb, Stride: 4352, Weight: 5},
+			{Label: "coeff", PC: pcBase(idx) + 0x1000, PCCount: 24, Pattern: Skewed,
+				Base: coeff, Size: 8 * mb, SkewAlpha: 3.0, Weight: 4},
+			{Label: "boundary", PC: pcBase(idx) + 0x2000, PCCount: 24, Pattern: Random,
+				Base: bound, Size: 512 * kb, Weight: 1, Write: true},
+		},
+	}
+	return Workload{
+		Name: "cactusADM", Suite: "SPEC 2006",
+		Description: "stencil sweep with page-crossing strides plus skewed coefficient tables",
+		FootprintMB: 65,
+		New:         func(seed uint64) Generator { return mustMix(spec, seed) },
+	}
+}
+
+// cc — GAPBS connected components: label-propagation over a CSR graph.
+// Sequential offset/edge scans plus a skewed component-label gather.
+func cc() Workload {
+	const idx = 1
+	l := newLayout()
+	offs := l.region(8 * mb)
+	edges := l.region(32 * mb)
+	labels := l.region(12 * mb)
+	spec := MixSpec{
+		Name:   "cc",
+		GapMin: 3, GapMax: 9,
+		Streams: []StreamSpec{
+			{Label: "offsets", PC: pcBase(idx), PCCount: 24, Pattern: Sequential,
+				Base: offs, Size: 8 * mb, Weight: 2},
+			{Label: "edges", PC: pcBase(idx) + 0x1000, PCCount: 24, Pattern: Sequential,
+				Base: edges, Size: 32 * mb, Weight: 4},
+			{Label: "labels", PC: pcBase(idx) + 0x2000, PCCount: 24, Pattern: Skewed,
+				Base: labels, Size: 12 * mb, SkewAlpha: 2.5, Weight: 4, Write: true},
+		},
+	}
+	return Workload{
+		Name: "cc", Suite: "GAPBS",
+		Description: "label propagation: CSR scans plus skewed label gathers",
+		FootprintMB: 52,
+		New:         func(seed uint64) Generator { return mustMix(spec, seed) },
+	}
+}
+
+// cgB — NAS Conjugate Gradient (class B): sparse matrix–vector products.
+// Index streams scan sequentially; the x-vector gather is random with mild
+// skew (matrix rows revisit popular columns), and a small p/q vector set is
+// hot.
+func cgB() Workload {
+	const idx = 2
+	l := newLayout()
+	rows := l.region(4 * mb)
+	cols := l.region(24 * mb)
+	x := l.region(20 * mb)
+	hot := l.region(2 * mb)
+	spec := MixSpec{
+		Name:   "cg.B",
+		GapMin: 2, GapMax: 7,
+		Streams: []StreamSpec{
+			{Label: "rowptr", PC: pcBase(idx), PCCount: 24, Pattern: Sequential,
+				Base: rows, Size: 4 * mb, Weight: 1},
+			{Label: "colidx", PC: pcBase(idx) + 0x1000, PCCount: 24, Pattern: Sequential,
+				Base: cols, Size: 24 * mb, Weight: 4},
+			{Label: "x-gather", PC: pcBase(idx) + 0x2000, PCCount: 24, Pattern: Skewed,
+				Base: x, Size: 20 * mb, SkewAlpha: 1.6, Weight: 4},
+			{Label: "p-vector", PC: pcBase(idx) + 0x3000, PCCount: 24, Pattern: Random,
+				Base: hot, Size: 2 * mb, Weight: 2, Write: true},
+		},
+	}
+	return Workload{
+		Name: "cg.B", Suite: "NPB",
+		Description: "sparse mat-vec: sequential index streams and a mildly skewed x-vector gather",
+		FootprintMB: 50,
+		New:         func(seed uint64) Generator { return mustMix(spec, seed) },
+	}
+}
+
+// sssp — GAPBS single-source shortest path (delta-stepping): large cold
+// edge gathers, a phased distance-array frontier, and a skewed bucket
+// structure.
+func sssp() Workload {
+	const idx = 3
+	l := newLayout()
+	edges := l.region(48 * mb)
+	dist := l.region(16 * mb)
+	bucket := l.region(3 * mb)
+	spec := MixSpec{
+		Name:     "sssp",
+		GapMin:   2,
+		GapMax:   8,
+		PhaseLen: 60_000,
+		Streams: []StreamSpec{
+			{Label: "edge-gather", PC: pcBase(idx), PCCount: 24, Pattern: Random,
+				Base: edges, Size: 48 * mb, Weight: 5},
+			{Label: "dist-frontier", PC: pcBase(idx) + 0x1000, PCCount: 24, Pattern: Random,
+				Base: dist, Size: 16 * mb, WindowSize: 2 * mb, Weight: 3, Write: true},
+			{Label: "bucket", PC: pcBase(idx) + 0x2000, PCCount: 24, Pattern: Skewed,
+				Base: bucket, Size: 3 * mb, SkewAlpha: 2.0, Weight: 2},
+		},
+	}
+	return Workload{
+		Name: "sssp", Suite: "GAPBS",
+		Description: "delta-stepping: cold edge gathers plus a phased distance-array frontier",
+		FootprintMB: 67,
+		New:         func(seed uint64) Generator { return mustMix(spec, seed) },
+	}
+}
+
+// lbm — SPEC 2017 lattice-Boltzmann: two full-grid sweeps per step with
+// large strides between cell fields plus a skewed parameter-table set;
+// almost every sweep fill is DOA and perfectly predictable.
+func lbm() Workload {
+	const idx = 4
+	l := newLayout()
+	src := l.region(40 * mb)
+	dst := l.region(40 * mb)
+	params := l.region(6 * mb)
+	spec := MixSpec{
+		Name:   "lbm",
+		GapMin: 3, GapMax: 8,
+		Streams: []StreamSpec{
+			{Label: "src-sweep", PC: pcBase(idx), PCCount: 24, Pattern: Strided,
+				Base: src, Size: 40 * mb, Stride: 4608, Weight: 4},
+			{Label: "dst-sweep", PC: pcBase(idx) + 0x1000, PCCount: 24, Pattern: Strided,
+				Base: dst, Size: 40 * mb, Stride: 4608, Weight: 4, Write: true},
+			{Label: "params", PC: pcBase(idx) + 0x2000, PCCount: 24, Pattern: Skewed,
+				Base: params, Size: 6 * mb, SkewAlpha: 3.0, Weight: 3},
+		},
+	}
+	return Workload{
+		Name: "lbm", Suite: "SPEC 2017",
+		Description: "lattice-Boltzmann grid sweeps with page-crossing strides",
+		FootprintMB: 86,
+		New:         func(seed uint64) Generator { return mustMix(spec, seed) },
+	}
+}
+
+// triangle — Ligra triangle counting: intersections of adjacency lists
+// with heavy hub skew on shared instruction sites, which muddies per-PC
+// training (low coverage, as in Table VI).
+func triangle() Workload {
+	const idx = 5
+	l := newLayout()
+	adj := l.region(40 * mb)
+	counts := l.region(2 * mb)
+	spec := MixSpec{
+		Name:   "Triangle",
+		GapMin: 2, GapMax: 6,
+		Streams: []StreamSpec{
+			{Label: "adj-intersect", PC: pcBase(idx), PCCount: 24, Pattern: Skewed,
+				Base: adj, Size: 40 * mb, SkewAlpha: 3.5, Weight: 7},
+			{Label: "counts", PC: pcBase(idx) + 0x1000, PCCount: 24, Pattern: Random,
+				Base: counts, Size: 2 * mb, Weight: 2, Write: true},
+			{Label: "offsets", PC: pcBase(idx) + 0x2000, PCCount: 24, Pattern: Sequential,
+				Base: adj, Size: 40 * mb, Weight: 1},
+		},
+	}
+	return Workload{
+		Name: "Triangle", Suite: "Ligra",
+		Description: "adjacency-list intersection with heavy hub skew on shared PCs",
+		FootprintMB: 42,
+		New:         func(seed uint64) Generator { return mustMix(spec, seed) },
+	}
+}
+
+// kcore — Ligra k-core decomposition: repeated peeling rounds over
+// shrinking active sets; degree updates dominate.
+func kcore() Workload {
+	const idx = 6
+	l := newLayout()
+	adj := l.region(36 * mb)
+	deg := l.region(8 * mb)
+	active := l.region(2 * mb)
+	spec := MixSpec{
+		Name:     "KCore",
+		GapMin:   3,
+		GapMax:   8,
+		PhaseLen: 100_000,
+		Streams: []StreamSpec{
+			{Label: "adj-scan", PC: pcBase(idx), PCCount: 24, Pattern: Random,
+				Base: adj, Size: 36 * mb, Weight: 4},
+			{Label: "degree", PC: pcBase(idx) + 0x1000, PCCount: 24, Pattern: Skewed,
+				Base: deg, Size: 8 * mb, SkewAlpha: 2.2, Weight: 3, Write: true},
+			{Label: "active", PC: pcBase(idx) + 0x2000, PCCount: 24, Pattern: Random,
+				Base: active, Size: 2 * mb, Weight: 3},
+		},
+	}
+	return Workload{
+		Name: "KCore", Suite: "Ligra",
+		Description: "iterative peeling: cold adjacency gathers and skewed degree updates",
+		FootprintMB: 46,
+		New:         func(seed uint64) Generator { return mustMix(spec, seed) },
+	}
+}
+
+// canneal — PARSEC simulated annealing for chip routing: random element
+// swaps over a large netlist with weak skew and little repetition in which
+// pages die — a hard case (13% coverage in Table VI).
+func canneal() Workload {
+	const idx = 7
+	l := newLayout()
+	nets := l.region(44 * mb)
+	temp := l.region(1 * mb)
+	spec := MixSpec{
+		Name:   "canneal",
+		GapMin: 4, GapMax: 12,
+		Streams: []StreamSpec{
+			{Label: "swap-a", PC: pcBase(idx), PCCount: 24, Pattern: Skewed,
+				Base: nets, Size: 44 * mb, SkewAlpha: 2.0, Weight: 4, Write: true},
+			{Label: "swap-b", PC: pcBase(idx) + 0x1000, PCCount: 24, Pattern: Skewed,
+				Base: nets, Size: 44 * mb, SkewAlpha: 2.0, Weight: 4},
+			{Label: "temperature", PC: pcBase(idx) + 0x2000, PCCount: 24, Pattern: Random,
+				Base: temp, Size: 1 * mb, Weight: 2},
+		},
+	}
+	return Workload{
+		Name: "canneal", Suite: "PARSEC",
+		Description: "random netlist element swaps with weak, PC-shared locality",
+		FootprintMB: 45,
+		New:         func(seed uint64) Generator { return mustMix(spec, seed) },
+	}
+}
+
+// pr — GAPBS PageRank: pull-style rank gathers over the whole graph with
+// only the lightest skew. Nearly everything is DOA, so there is little
+// useful content for bypassing to protect (the paper's AIP/SHiP even lose
+// performance here).
+func pr() Workload {
+	const idx = 8
+	l := newLayout()
+	ranks := l.region(48 * mb)
+	edges := l.region(24 * mb)
+	spec := MixSpec{
+		Name:   "pr",
+		GapMin: 2, GapMax: 6,
+		Streams: []StreamSpec{
+			{Label: "rank-gather", PC: pcBase(idx), PCCount: 24, Pattern: Skewed,
+				Base: ranks, Size: 48 * mb, SkewAlpha: 1.3, Weight: 6},
+			{Label: "edge-scan", PC: pcBase(idx) + 0x1000, PCCount: 24, Pattern: Sequential,
+				Base: edges, Size: 24 * mb, Weight: 3},
+			{Label: "rank-store", PC: pcBase(idx) + 0x2000, PCCount: 24, Pattern: Sequential,
+				Base: ranks, Size: 48 * mb, Weight: 1, Write: true},
+		},
+	}
+	return Workload{
+		Name: "pr", Suite: "GAPBS",
+		Description: "pull PageRank: near-uniform rank gathers with no protectable hot set",
+		FootprintMB: 72,
+		New:         func(seed uint64) Generator { return mustMix(spec, seed) },
+	}
+}
+
+// graph500 — BFS and SSSP over a synthetic Kronecker graph: bursty,
+// skewed gathers with a phased visited array.
+func graph500() Workload {
+	const idx = 9
+	l := newLayout()
+	edges := l.region(40 * mb)
+	visit := l.region(12 * mb)
+	front := l.region(2 * mb)
+	spec := MixSpec{
+		Name:     "graph500",
+		GapMin:   2,
+		GapMax:   7,
+		PhaseLen: 80_000,
+		Streams: []StreamSpec{
+			{Label: "edge-gather", PC: pcBase(idx), PCCount: 24, Pattern: Skewed,
+				Base: edges, Size: 40 * mb, SkewAlpha: 2.8, Weight: 5},
+			{Label: "visited", PC: pcBase(idx) + 0x1000, PCCount: 24, Pattern: Random,
+				Base: visit, Size: 12 * mb, WindowSize: 3 * mb, Weight: 3, Write: true},
+			{Label: "frontier", PC: pcBase(idx) + 0x2000, PCCount: 24, Pattern: Random,
+				Base: front, Size: 2 * mb, Weight: 2},
+		},
+	}
+	return Workload{
+		Name: "graph500", Suite: "Graph500",
+		Description: "Kronecker-graph BFS/SSSP: skewed gathers with a phased visited array",
+		FootprintMB: 54,
+		New:         func(seed uint64) Generator { return mustMix(spec, seed) },
+	}
+}
+
+// bfs — Ligra breadth-first search: sharp frontier phases with strong
+// within-phase reuse; whether a page dies depends on the frontier, not the
+// PC, so neither PC-indexed predictor finds anything stable to learn (0%
+// MPKI reduction in Table IV).
+func bfs() Workload {
+	const idx = 10
+	l := newLayout()
+	adj := l.region(40 * mb)
+	front := l.region(16 * mb)
+	spec := MixSpec{
+		Name:     "bfs",
+		GapMin:   2,
+		GapMax:   6,
+		PhaseLen: 25_000,
+		Streams: []StreamSpec{
+			{Label: "adj-gather", PC: pcBase(idx), PCCount: 24, Pattern: Random,
+				Base: adj, Size: 40 * mb, WindowSize: 3 * mb, Weight: 5},
+			{Label: "frontier", PC: pcBase(idx) + 0x1000, PCCount: 24, Pattern: Random,
+				Base: front, Size: 16 * mb, WindowSize: 1536 * kb, Weight: 4, Write: true},
+			{Label: "parent", PC: pcBase(idx) + 0x2000, PCCount: 24, Pattern: Random,
+				Base: front, Size: 16 * mb, WindowSize: 1536 * kb, Weight: 1, Write: true},
+		},
+	}
+	return Workload{
+		Name: "bfs", Suite: "Ligra",
+		Description: "frontier-phased BFS where page death is frontier-, not PC-, determined",
+		FootprintMB: 56,
+		New:         func(seed uint64) Generator { return mustMix(spec, seed) },
+	}
+}
+
+// bc — GAPBS betweenness centrality: forward BFS plus backward dependency
+// accumulation; pure cold adjacency gathers with a skewed accumulation
+// structure.
+func bc() Workload {
+	const idx = 11
+	l := newLayout()
+	adj := l.region(44 * mb)
+	dep := l.region(16 * mb)
+	sigma := l.region(3 * mb)
+	spec := MixSpec{
+		Name:     "bc",
+		GapMin:   2,
+		GapMax:   7,
+		PhaseLen: 70_000,
+		Streams: []StreamSpec{
+			{Label: "adj-gather", PC: pcBase(idx), PCCount: 24, Pattern: Random,
+				Base: adj, Size: 44 * mb, Weight: 4},
+			{Label: "depend", PC: pcBase(idx) + 0x1000, PCCount: 24, Pattern: Random,
+				Base: dep, Size: 16 * mb, WindowSize: 3 * mb, Weight: 3, Write: true},
+			{Label: "sigma", PC: pcBase(idx) + 0x2000, PCCount: 24, Pattern: Skewed,
+				Base: sigma, Size: 3 * mb, SkewAlpha: 2.5, Weight: 3},
+		},
+	}
+	return Workload{
+		Name: "bc", Suite: "GAPBS",
+		Description: "betweenness centrality: random adjacency gathers plus skewed accumulation",
+		FootprintMB: 63,
+		New:         func(seed uint64) Generator { return mustMix(spec, seed) },
+	}
+}
+
+// mis — Ligra maximal independent set: rounds over a shrinking candidate
+// set with strong within-round reuse; most dead entries are *not* DOA (the
+// entry is used a few times in a round, then dies), defeating a
+// DOA-focused predictor (Table IV: 0%).
+func mis() Workload {
+	const idx = 12
+	l := newLayout()
+	cand := l.region(36 * mb)
+	state := l.region(8 * mb)
+	spec := MixSpec{
+		Name:     "mis",
+		GapMin:   3,
+		GapMax:   9,
+		PhaseLen: 20_000,
+		Streams: []StreamSpec{
+			{Label: "candidates", PC: pcBase(idx), PCCount: 24, Pattern: Random,
+				Base: cand, Size: 36 * mb, WindowSize: 2 * mb, Weight: 5},
+			{Label: "state", PC: pcBase(idx) + 0x1000, PCCount: 24, Pattern: Random,
+				Base: state, Size: 8 * mb, WindowSize: 1 * mb, Weight: 4, Write: true},
+		},
+	}
+	return Workload{
+		Name: "mis", Suite: "Ligra",
+		Description: "round-based MIS whose dead pages are mostly not dead-on-arrival",
+		FootprintMB: 44,
+		New:         func(seed uint64) Generator { return mustMix(spec, seed) },
+	}
+}
+
+// mcf — SPEC 2006 minimum-cost network flow: pointer chasing over arcs
+// with skewed node popularity and data-dependent, effectively random page
+// death (the paper's hardest case: 67% accuracy, 10% coverage).
+func mcf() Workload {
+	const idx = 13
+	l := newLayout()
+	arcs := l.region(40 * mb)
+	nodes := l.region(8 * mb)
+	spec := MixSpec{
+		Name:   "mcf",
+		GapMin: 3, GapMax: 10,
+		Streams: []StreamSpec{
+			{Label: "arc-chase", PC: pcBase(idx), PCCount: 24, Pattern: PointerChase,
+				Base: arcs, Size: 40 * mb, SkewAlpha: 2.2, Weight: 5},
+			{Label: "node-update", PC: pcBase(idx) + 0x1000, PCCount: 24, Pattern: Skewed,
+				Base: nodes, Size: 8 * mb, SkewAlpha: 2.0, Weight: 4, Write: true},
+		},
+	}
+	return Workload{
+		Name: "mcf", Suite: "SPEC 2006",
+		Description: "network-simplex pointer chasing with data-dependent page death",
+		FootprintMB: 48,
+		New:         func(seed uint64) Generator { return mustMix(spec, seed) },
+	}
+}

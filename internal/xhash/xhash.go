@@ -1,0 +1,36 @@
+// Package xhash provides the folding XOR hashes used by the predictors.
+//
+// The paper (§V-A) computes the hash of a program counter "by dividing the
+// PC into subblocks and XOR-ing them"; the same construction is used for
+// VPN hashes and for the 12-bit block-address hash that indexes cbPred's
+// bHIST table (§V-B). Fold implements that construction for any width.
+package xhash
+
+// Fold reduces a 64-bit value to the requested number of bits by splitting
+// it into width-sized subblocks and XOR-ing them together. width must be in
+// [1, 63].
+func Fold(v uint64, width uint) uint64 {
+	if width == 0 || width > 63 {
+		panic("xhash: Fold width out of range")
+	}
+	mask := uint64(1)<<width - 1
+	var h uint64
+	for v != 0 {
+		h ^= v & mask
+		v >>= width
+	}
+	return h
+}
+
+// PC hashes a program counter to the given number of bits. Instructions are
+// at least 1 byte on x86, but hot PCs tend to differ in low bits, so the
+// raw PC is folded directly.
+func PC(pc uint64, bits uint) uint64 { return Fold(pc, bits) }
+
+// VPN hashes a virtual page number to the given number of bits.
+func VPN(vpn uint64, bits uint) uint64 { return Fold(vpn, bits) }
+
+// BlockAddr hashes a physical block address to the given number of bits.
+// The block-offset bits are stripped by the caller; what is folded is the
+// block number so that neighbouring blocks land in different entries.
+func BlockAddr(blockNum uint64, bits uint) uint64 { return Fold(blockNum, bits) }

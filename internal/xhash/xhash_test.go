@@ -1,0 +1,107 @@
+package xhash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFoldKnownValues(t *testing.T) {
+	tests := []struct {
+		v     uint64
+		width uint
+		want  uint64
+	}{
+		{0, 6, 0},
+		{1, 6, 1},
+		{0x3f, 6, 0x3f},
+		{0x40, 6, 1},                // second subblock
+		{0x41, 6, 0},                // 1 ^ 1
+		{0xffffffffffffffff, 1, 0},  // 64 ones XOR to 0
+		{0xffffffffffffffff, 4, 0},  // 16 subblocks of 0xf XOR to 0
+		{0xfffffffffffffff, 4, 0xf}, // 15 subblocks of 0xf
+		{0xf0f0, 4, 0},
+		{0xf0f1, 4, 1},
+	}
+	for _, tc := range tests {
+		if got := Fold(tc.v, tc.width); got != tc.want {
+			t.Errorf("Fold(%#x, %d) = %#x, want %#x", tc.v, tc.width, got, tc.want)
+		}
+	}
+}
+
+func TestFoldPanicsOnBadWidth(t *testing.T) {
+	for _, w := range []uint{0, 64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Fold width %d did not panic", w)
+				}
+			}()
+			Fold(1, w)
+		}()
+	}
+}
+
+// Property: the result always fits in the requested width.
+func TestFoldRangeProperty(t *testing.T) {
+	f := func(v uint64, w uint8) bool {
+		width := uint(w%63) + 1
+		return Fold(v, width) < 1<<width
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Fold is deterministic.
+func TestFoldDeterministicProperty(t *testing.T) {
+	f := func(v uint64, w uint8) bool {
+		width := uint(w%63) + 1
+		return Fold(v, width) == Fold(v, width)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: folding distributes XOR: Fold(a) ^ Fold(b) == Fold over
+// subblock-wise XOR of a and b (linearity of the construction).
+func TestFoldLinearityProperty(t *testing.T) {
+	f := func(a, b uint64, w uint8) bool {
+		width := uint(w%63) + 1
+		return Fold(a, width)^Fold(b, width) == Fold(a^b, width)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashAliasesDiffer(t *testing.T) {
+	// Sanity: distinct nearby pages should not all collapse to one bucket.
+	seen := make(map[uint64]bool)
+	for vpn := uint64(0); vpn < 16; vpn++ {
+		seen[VPN(vpn, 4)] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("16 consecutive VPNs hash to %d buckets, want 16", len(seen))
+	}
+}
+
+func TestPCHashWidth(t *testing.T) {
+	for pc := uint64(0x400000); pc < 0x400000+4096; pc += 7 {
+		if h := PC(pc, 6); h >= 64 {
+			t.Fatalf("PC hash %#x out of 6-bit range", h)
+		}
+	}
+}
+
+func TestBlockAddrSpreads(t *testing.T) {
+	// 4096 consecutive block numbers should cover many of the 4096 buckets.
+	seen := make(map[uint64]bool)
+	for b := uint64(0); b < 4096; b++ {
+		seen[BlockAddr(b, 12)] = true
+	}
+	if len(seen) < 4096 {
+		t.Errorf("4096 consecutive blocks map to %d buckets, want 4096", len(seen))
+	}
+}
