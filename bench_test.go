@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 // benchParams trades fidelity for benchmark runtime; the shapes survive,
@@ -141,6 +142,37 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	if _, _, err := AttachPaperPredictors(sys); err != nil {
 		b.Fatal(err)
 	}
+	w, err := WorkloadByName("cc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := w.New(1)
+	b.ResetTimer()
+	if err := sys.Run(g, uint64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSimulatorThroughputTraced is the same run with full
+// observability attached (ring-buffer tracing, metrics, interval
+// sampling); the delta against BenchmarkSimulatorThroughput is the
+// telemetry overhead when enabled.
+func BenchmarkSimulatorThroughputTraced(b *testing.B) {
+	cfg := DefaultConfig()
+	sys, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := AttachPaperPredictors(sys); err != nil {
+		b.Fatal(err)
+	}
+	o := &Observer{
+		Tracer:   NewTracer(0, obs.NullSink{}),
+		Metrics:  NewMetricsRegistry(),
+		Interval: NewIntervalRecorder(50_000),
+	}
+	o.BeginRun("cc", "bench")
+	sys.AttachObserver(o)
 	w, err := WorkloadByName("cc")
 	if err != nil {
 		b.Fatal(err)

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/pred"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -43,6 +44,12 @@ func run() error {
 		llcKB     = flag.Int("llckb", 2048, "LLC size in KB")
 		accuracy  = flag.Bool("accuracy", false, "grade predictions against mirror ground truth")
 		deadScan  = flag.Bool("characterize", false, "sample dead/DOA entry fractions (§IV)")
+
+		traceOut   = flag.String("trace-out", "", "write hook-point event trace to file (JSONL; a .csv extension selects CSV)")
+		metricsOut = flag.String("metrics-out", "", "write interval time series and final metrics JSON to file")
+		interval   = flag.Uint64("interval", 50_000, "accesses between interval samples (used with -metrics-out)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to file")
 	)
 	flag.Parse()
 
@@ -127,10 +134,38 @@ func run() error {
 	setup.Config = func() sim.Config { return cfg }
 	setup.Instrument = exp.Instrumentation{Accuracy: *accuracy, Characterize: *deadScan}
 
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "deadsim:", err)
+			}
+		}()
+	}
+	observer, finishObs, err := obs.FromFlags(*traceOut, *metricsOut, *interval)
+	if err != nil {
+		return err
+	}
+
 	r := exp.NewRunner(exp.Params{Warmup: *warmup, Measure: *measure, Seed: *seed, SampleEvery: 20_000})
+	r.Observer = observer
 	res, err := r.Run(w, setup)
 	if err != nil {
 		return err
+	}
+	if err := finishObs(); err != nil {
+		return err
+	}
+	if *memprofile != "" {
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			return err
+		}
+	}
+	if observer != nil && observer.Tracer != nil {
+		fmt.Fprintf(os.Stderr, "deadsim: traced %d events to %s\n", observer.Tracer.Count(), *traceOut)
 	}
 
 	fmt.Printf("workload      %s (%s, %d MB)\n", w.Name, w.Suite, w.FootprintMB)

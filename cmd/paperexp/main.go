@@ -8,6 +8,11 @@
 //	paperexp -quick          # reduced trace lengths (~2 minutes)
 //	paperexp -only fig9,tab4 # a subset
 //	paperexp -list           # list experiment IDs
+//
+// Observability (see DESIGN.md §8): -trace FILE streams JSONL (or CSV, by
+// extension) hook-point events, -metrics-out FILE writes interval time
+// series plus final counters as JSON, -interval N sets the sampling
+// cadence, and -cpuprofile/-memprofile capture pprof profiles.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 // experiment binds an ID to its generator function.
@@ -60,11 +66,16 @@ func main() {
 
 func run() error {
 	var (
-		quick   = flag.Bool("quick", false, "use reduced trace lengths")
-		only    = flag.String("only", "", "comma-separated experiment IDs (default: all)")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		seed    = flag.Uint64("seed", 1, "workload and allocator seed")
-		verbose = flag.Bool("v", false, "print per-simulation progress")
+		quick      = flag.Bool("quick", false, "use reduced trace lengths")
+		only       = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		seed       = flag.Uint64("seed", 1, "workload and allocator seed")
+		verbose    = flag.Bool("v", false, "print per-simulation progress with elapsed time")
+		traceOut   = flag.String("trace", "", "write hook-point event trace to file (JSONL; a .csv extension selects CSV)")
+		metricsOut = flag.String("metrics-out", "", "write interval time series and final metrics JSON to file")
+		interval   = flag.Uint64("interval", 50_000, "accesses between interval samples (used with -metrics-out)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to file")
 	)
 	flag.Parse()
 
@@ -76,6 +87,18 @@ func run() error {
 		return nil
 	}
 
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "paperexp:", err)
+			}
+		}()
+	}
+
 	params := exp.DefaultParams()
 	if *quick {
 		params = exp.QuickParams()
@@ -83,10 +106,19 @@ func run() error {
 	params.Seed = *seed
 	r := exp.NewRunner(params)
 	if *verbose {
-		r.Progress = func(w, s string) {
+		r.ProgressStart = func(w, s string) {
 			fmt.Fprintf(os.Stderr, "  simulating %s under %s\n", w, s)
 		}
+		r.ProgressDone = func(w, s string, elapsed time.Duration) {
+			fmt.Fprintf(os.Stderr, "  finished   %s under %s in %v\n", w, s, elapsed.Round(time.Millisecond))
+		}
 	}
+
+	observer, finishObs, err := obs.FromFlags(*traceOut, *metricsOut, *interval)
+	if err != nil {
+		return err
+	}
+	r.Observer = observer
 
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -113,6 +145,17 @@ func run() error {
 			return err
 		}
 		fmt.Println(rep.Format())
+	}
+	if err := finishObs(); err != nil {
+		return err
+	}
+	if observer != nil && observer.Tracer != nil {
+		fmt.Fprintf(os.Stderr, "paperexp: traced %d events to %s\n", observer.Tracer.Count(), *traceOut)
+	}
+	if *memprofile != "" {
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(os.Stderr, "paperexp: done in %v\n", time.Since(start).Round(time.Second))
 	return nil

@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/pred"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -104,6 +105,25 @@ type (
 	TLBPredictor = pred.TLBPredictor
 	// LLCPredictor is the LLC predictor interface.
 	LLCPredictor = pred.LLCPredictor
+)
+
+// Observability (DESIGN.md §8).
+type (
+	// Observer bundles the telemetry hooks a System or Runner accepts.
+	Observer = obs.Observer
+	// Tracer records structured hook-point events into a ring buffer and
+	// an optional sink.
+	Tracer = obs.Tracer
+	// TraceEvent is one recorded hook-point event.
+	TraceEvent = obs.Event
+	// TraceSink receives events as they are emitted (JSONL, CSV, null).
+	TraceSink = obs.Sink
+	// MetricsRegistry holds named counters, gauges and probes.
+	MetricsRegistry = obs.Registry
+	// IntervalRecorder collects per-N-access time-series samples.
+	IntervalRecorder = obs.IntervalRecorder
+	// IntervalSample is one time-series point.
+	IntervalSample = obs.IntervalSample
 )
 
 // Experiments.
@@ -182,3 +202,21 @@ func DefaultParams() Params { return exp.DefaultParams() }
 
 // QuickParams returns fast experiment parameters for demos and CI.
 func QuickParams() Params { return exp.QuickParams() }
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer creates a tracer with the given ring size (0 picks the
+// default) writing to sink. Use NewJSONLSink/NewCSVSink for file output
+// or obs.NullSink to keep events only in the ring.
+func NewTracer(ringSize int, sink TraceSink) *Tracer { return obs.NewTracer(ringSize, sink) }
+
+// NewJSONLSink streams events to w as one JSON object per line.
+func NewJSONLSink(w io.Writer) *obs.JSONLSink { return obs.NewJSONLSink(w) }
+
+// NewCSVSink streams events to w as CSV rows under a fixed header.
+func NewCSVSink(w io.Writer) *obs.CSVSink { return obs.NewCSVSink(w) }
+
+// NewIntervalRecorder creates an interval recorder sampling every `every`
+// accesses.
+func NewIntervalRecorder(every uint64) *IntervalRecorder { return obs.NewIntervalRecorder(every) }

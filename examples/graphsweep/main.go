@@ -19,7 +19,7 @@ func main() {
 
 	params := deadpred.QuickParams()
 	r := exp.NewRunner(params)
-	r.Progress = func(w, s string) { fmt.Printf("  … %s under %s\n", w, s) }
+	r.ProgressStart = func(w, s string) { fmt.Printf("  … %s under %s\n", w, s) }
 
 	setups := []exp.Setup{exp.Baseline(), exp.DPPredSetup(), exp.SHiPTLBSetup(), exp.AIPTLBSetup()}
 

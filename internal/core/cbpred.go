@@ -5,7 +5,9 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/pred"
+	"repro/internal/stats"
 	"repro/internal/xhash"
 )
 
@@ -103,6 +105,10 @@ type CBPred struct {
 	ctrMax uint8
 	q      *pfq
 
+	// tr, when set, receives PFQ-push events (the dpPred → cbPred
+	// coupling the simulator cannot observe from outside).
+	tr *obs.Tracer
+
 	stats CBPredStats
 }
 
@@ -137,6 +143,9 @@ func (p *CBPred) Name() string { return "cbPred" }
 // receives the frame of a predicted DOA page and inserts it in the PFQ.
 func (p *CBPred) NotifyDOAPage(f arch.PFN) {
 	p.stats.Notifications++
+	if p.tr != nil {
+		p.tr.Emit(obs.Event{Kind: obs.EvPFQPush, Key: uint64(f)})
+	}
 	p.q.Insert(f)
 }
 
@@ -205,7 +214,30 @@ func (p *CBPred) Stats() CBPredStats { return p.stats }
 // Counter exposes a bHIST counter (for tests).
 func (p *CBPred) Counter(blockNum uint64) uint8 { return p.bhist[p.hash(blockNum)] }
 
+// AttachTracer implements obs.TraceAttacher: PFQ pushes are emitted
+// through t (nil detaches).
+func (p *CBPred) AttachTracer(t *obs.Tracer) { p.tr = t }
+
+// RegisterMetrics implements obs.MetricSource, publishing the predictor's
+// activity counters as probes.
+func (p *CBPred) RegisterMetrics(r *obs.Registry) {
+	r.RegisterProbe("cbpred.notifications", func() float64 { return float64(p.stats.Notifications) })
+	r.RegisterProbe("cbpred.pfq_matches", func() float64 { return float64(p.stats.PFQMatches) })
+	r.RegisterProbe("cbpred.predictions", func() float64 { return float64(p.stats.Predictions) })
+	r.RegisterProbe("cbpred.increments", func() float64 { return float64(p.stats.Increments) })
+	r.RegisterProbe("cbpred.clears", func() float64 { return float64(p.stats.Clears) })
+}
+
+// CounterHistogram implements obs.CounterHistogrammer: bucket v counts the
+// bHIST counters currently holding v.
+func (p *CBPred) CounterHistogram() []uint64 {
+	return stats.Histogram8(p.ctrMax, p.bhist)
+}
+
 var (
-	_ pred.LLCPredictor    = (*CBPred)(nil)
-	_ pred.DOAPageListener = (*CBPred)(nil)
+	_ pred.LLCPredictor       = (*CBPred)(nil)
+	_ pred.DOAPageListener    = (*CBPred)(nil)
+	_ obs.TraceAttacher       = (*CBPred)(nil)
+	_ obs.MetricSource        = (*CBPred)(nil)
+	_ obs.CounterHistogrammer = (*CBPred)(nil)
 )

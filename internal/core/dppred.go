@@ -5,7 +5,9 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/pred"
+	"repro/internal/stats"
 	"repro/internal/xhash"
 )
 
@@ -72,6 +74,10 @@ type DPPred struct {
 	// predicted-DOA page; the simulator wires it to cbPred's PFQ
 	// ("Send PFN to LLC controller for PFQ insertion", Fig. 6b).
 	onDOAPage func(arch.PFN)
+
+	// tr, when set, receives pHIST column-flush events (the one dpPred
+	// hook point the simulator cannot observe from outside).
+	tr *obs.Tracer
 
 	stats DPPredStats
 }
@@ -143,6 +149,9 @@ func (p *DPPred) OnMiss(vpn arch.VPN, _ uint64) (arch.PFN, bool) {
 
 func (p *DPPred) flushColumn(col int) {
 	p.stats.ColumnFlushes++
+	if p.tr != nil {
+		p.tr.Emit(obs.Event{Kind: obs.EvPHISTFlush, Key: uint64(col)})
+	}
 	for r := range p.phist {
 		p.phist[r][col] = 0
 	}
@@ -208,4 +217,29 @@ func (p *DPPred) Counter(pcHash uint16, vpn arch.VPN) uint8 {
 // ShadowLen reports the number of valid shadow-table entries.
 func (p *DPPred) ShadowLen() int { return p.shadow.Len() }
 
-var _ pred.TLBPredictor = (*DPPred)(nil)
+// AttachTracer implements obs.TraceAttacher: pHIST column flushes are
+// emitted through t (nil detaches).
+func (p *DPPred) AttachTracer(t *obs.Tracer) { p.tr = t }
+
+// RegisterMetrics implements obs.MetricSource, publishing the predictor's
+// activity counters as probes.
+func (p *DPPred) RegisterMetrics(r *obs.Registry) {
+	r.RegisterProbe("dppred.predictions", func() float64 { return float64(p.stats.Predictions) })
+	r.RegisterProbe("dppred.shadow_hits", func() float64 { return float64(p.stats.ShadowHits) })
+	r.RegisterProbe("dppred.column_flushes", func() float64 { return float64(p.stats.ColumnFlushes) })
+	r.RegisterProbe("dppred.increments", func() float64 { return float64(p.stats.Increments) })
+	r.RegisterProbe("dppred.clears", func() float64 { return float64(p.stats.Clears) })
+}
+
+// CounterHistogram implements obs.CounterHistogrammer: bucket v counts the
+// pHIST counters currently holding v.
+func (p *DPPred) CounterHistogram() []uint64 {
+	return stats.Histogram8(p.ctrMax, p.phist...)
+}
+
+var (
+	_ pred.TLBPredictor       = (*DPPred)(nil)
+	_ obs.TraceAttacher       = (*DPPred)(nil)
+	_ obs.MetricSource        = (*DPPred)(nil)
+	_ obs.CounterHistogrammer = (*DPPred)(nil)
+)

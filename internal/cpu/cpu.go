@@ -154,6 +154,11 @@ func (c *Core) Instructions() uint64 { return c.instructions }
 // MemOps returns the number of retired memory instructions.
 func (c *Core) MemOps() uint64 { return c.memOps }
 
+// MemLatencyStats returns the cumulative hierarchy latency sum and memory
+// op count. Callers that need a measurement-region mean snapshot both and
+// subtract.
+func (c *Core) MemLatencyStats() (sum, ops uint64) { return c.memLatSum, c.memOps }
+
 // AvgMemLatency returns the mean hierarchy latency over memory ops.
 func (c *Core) AvgMemLatency() float64 {
 	if c.memOps == 0 {

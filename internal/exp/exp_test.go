@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -14,8 +15,14 @@ var quickRunner = NewRunner(QuickParams())
 
 func TestRunMemoizes(t *testing.T) {
 	r := NewRunner(QuickParams())
-	calls := 0
-	r.Progress = func(string, string) { calls++ }
+	starts, dones := 0, 0
+	r.ProgressStart = func(string, string) { starts++ }
+	r.ProgressDone = func(_, _ string, elapsed time.Duration) {
+		dones++
+		if elapsed <= 0 {
+			t.Errorf("ProgressDone elapsed = %v, want > 0", elapsed)
+		}
+	}
 	w, err := trace.ByName("cc")
 	if err != nil {
 		t.Fatal(err)
@@ -26,8 +33,8 @@ func TestRunMemoizes(t *testing.T) {
 	if _, err := r.Run(w, Baseline()); err != nil {
 		t.Fatal(err)
 	}
-	if calls != 1 {
-		t.Errorf("baseline simulated %d times, want 1 (memoized)", calls)
+	if starts != 1 || dones != 1 {
+		t.Errorf("baseline simulated start=%d done=%d times, want 1/1 (memoized)", starts, dones)
 	}
 }
 

@@ -6,8 +6,10 @@ package exp
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pred"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -72,8 +74,16 @@ type Instrumentation struct {
 type Runner struct {
 	params Params
 	memo   map[string]sim.Result
-	// Progress, when set, receives a line per simulation run.
-	Progress func(workload, setup string)
+	// ProgressStart, when set, is called as each uncached simulation
+	// begins; memoized replays report nothing.
+	ProgressStart func(workload, setup string)
+	// ProgressDone, when set, is called as each uncached simulation
+	// finishes, with its wall-clock duration.
+	ProgressDone func(workload, setup string, elapsed time.Duration)
+	// Observer, when set, is attached to every simulated system: each
+	// run is announced via BeginRun ("workload/setup"), so traces,
+	// interval series and metrics from all runs land in one bundle.
+	Observer *obs.Observer
 }
 
 // NewRunner creates a runner with the given parameters.
@@ -90,12 +100,16 @@ func (r *Runner) Run(w trace.Workload, setup Setup) (sim.Result, error) {
 	if res, ok := r.memo[key]; ok {
 		return res, nil
 	}
-	if r.Progress != nil {
-		r.Progress(w.Name, setup.Name)
+	if r.ProgressStart != nil {
+		r.ProgressStart(w.Name, setup.Name)
 	}
+	start := time.Now()
 	res, err := r.runUncached(w, setup)
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("exp: %s under %s: %w", w.Name, setup.Name, err)
+	}
+	if r.ProgressDone != nil {
+		r.ProgressDone(w.Name, setup.Name, time.Since(start))
 	}
 	r.memo[key] = res
 	return res, nil
@@ -145,6 +159,13 @@ func (r *Runner) runUncached(w trace.Workload, setup Setup) (sim.Result, error) 
 			return sim.Result{}, err
 		}
 		s.SetTLBPrefetcher(p)
+	}
+	if r.Observer != nil {
+		// Attach before warmup: learning curves need the predictors'
+		// cold-start behaviour, so interval samples and trace events
+		// cover the whole run (Result stays measurement-scoped).
+		r.Observer.BeginRun(w.Name, setup.Name)
+		s.AttachObserver(r.Observer)
 	}
 
 	g := w.New(r.params.Seed)

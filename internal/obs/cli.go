@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// FromFlags builds the Observer behind the commands' shared observability
+// flags. tracePath ("" disables tracing) selects the sink by extension —
+// ".csv" writes CSV, anything else JSONL. metricsPath ("" disables)
+// enables the metrics registry and interval recorder, sampling every
+// interval accesses. When both paths are empty the observer is nil
+// (fully disabled).
+//
+// The returned finish function flushes and closes the trace file and
+// writes the metrics document; call it once after the last run.
+func FromFlags(tracePath, metricsPath string, interval uint64) (*Observer, func() error, error) {
+	if tracePath == "" && metricsPath == "" {
+		return nil, func() error { return nil }, nil
+	}
+	o := &Observer{}
+	var traceFile *os.File
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		traceFile = f
+		var sink Sink
+		if strings.HasSuffix(tracePath, ".csv") {
+			sink = NewCSVSink(f)
+		} else {
+			sink = NewJSONLSink(f)
+		}
+		o.Tracer = NewTracer(0, sink)
+	}
+	if metricsPath != "" {
+		o.Metrics = NewRegistry()
+		o.Interval = NewIntervalRecorder(interval)
+	}
+	finish := func() error {
+		var first error
+		keep := func(err error) {
+			if err != nil && first == nil {
+				first = err
+			}
+		}
+		if o.Tracer != nil {
+			keep(o.Tracer.Close())
+		}
+		if traceFile != nil {
+			keep(traceFile.Close())
+		}
+		if metricsPath != "" {
+			f, err := os.Create(metricsPath)
+			if err != nil {
+				keep(fmt.Errorf("obs: metrics: %w", err))
+			} else {
+				keep(o.WriteMetricsJSON(f))
+				keep(f.Close())
+			}
+		}
+		return first
+	}
+	return o, finish, nil
+}

@@ -1,0 +1,94 @@
+package obs
+
+// Kind identifies a traced hook point. The set mirrors the paper's
+// Figure 6 (LLT side) and Figure 8 (LLC side) flowcharts plus the
+// bookkeeping events the learning-curve analysis needs.
+type Kind uint8
+
+const (
+	// EvRunStart opens one simulation run; Label carries
+	// "workload/setup". Events that follow belong to this run until the
+	// next EvRunStart (the stream is single-threaded and sequential).
+	EvRunStart Kind = iota
+	// EvLLTFill is an LLT allocation after a page walk. Key = VPN,
+	// Aux = PFN, PC = triggering instruction.
+	EvLLTFill
+	// EvLLTBypass is a fill suppressed by a DOA prediction (Fig. 6b).
+	// Key = VPN, Aux = PFN, PC = triggering instruction.
+	EvLLTBypass
+	// EvLLTEvict is an LLT eviction. Key = victim VPN, Aux = victim PFN,
+	// Flag = victim's Accessed bit (false ⇒ the entry died on arrival).
+	EvLLTEvict
+	// EvShadowHit is an LLT miss served by the predictor's shadow table
+	// (a detected misprediction, Fig. 6a). Key = VPN, Aux = PFN.
+	EvShadowHit
+	// EvPHISTFlush is dpPred's negative-feedback flush of one pHIST
+	// column. Key = column index.
+	EvPHISTFlush
+	// EvPFQPush is a predicted-DOA frame entering cbPred's PFN filter
+	// queue (Fig. 6b → Fig. 8b coupling). Key = PFN.
+	EvPFQPush
+	// EvLLCFill is an LLC allocation. Key = block number, PC = triggering
+	// instruction, Flag = the block's DP bit (filled under a PFQ match).
+	EvLLCFill
+	// EvLLCBypass is an LLC fill suppressed by a DOA prediction
+	// (Fig. 8b). Key = block number, PC = triggering instruction.
+	EvLLCBypass
+	// EvLLCEvict is an LLC eviction. Key = victim block number,
+	// Flag = victim's Accessed bit.
+	EvLLCEvict
+	// EvWalk is a completed page walk. Key = VPN, Aux = walk latency in
+	// cycles (queueing included), Flag = the walk queued behind the
+	// single walker.
+	EvWalk
+	// EvInterval marks an interval-sampler emission. Key = sample index.
+	EvInterval
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	EvRunStart:   "run_start",
+	EvLLTFill:    "llt_fill",
+	EvLLTBypass:  "llt_bypass",
+	EvLLTEvict:   "llt_evict",
+	EvShadowHit:  "shadow_hit",
+	EvPHISTFlush: "phist_flush",
+	EvPFQPush:    "pfq_push",
+	EvLLCFill:    "llc_fill",
+	EvLLCBypass:  "llc_bypass",
+	EvLLCEvict:   "llc_evict",
+	EvWalk:       "walk",
+	EvInterval:   "interval",
+}
+
+// String returns the kind's wire name (the JSONL/CSV "kind" column).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one traced occurrence. Key/Aux/PC/Flag are kind-dependent (see
+// the Kind constants); Seq, Cycle and Access are stamped by the Tracer.
+type Event struct {
+	// Seq is the tracer's monotone sequence number.
+	Seq uint64
+	// Cycle is the core cycle at emission.
+	Cycle uint64
+	// Access is the ordinal of the trace record being processed.
+	Access uint64
+	// Kind identifies the hook point.
+	Kind Kind
+	// Key is the event's subject (VPN, block number, PFN, column, ...).
+	Key uint64
+	// Aux is secondary payload (PFN, latency, ...).
+	Aux uint64
+	// PC is the triggering instruction, when one exists.
+	PC uint64
+	// Flag is kind-dependent (victim Accessed bit, DP bit, queued walk).
+	Flag bool
+	// Label annotates run_start events with "workload/setup".
+	Label string
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// IntervalSample is one point of the per-run time series: deltas over the
+// last Every accesses, computed by the simulator from its own counters.
+// Rates are per-interval, not cumulative, so the series plots learning
+// curves directly (pHIST warm-up bursts, post-phase-change shadow-hit
+// spikes, walker-queue pressure).
+type IntervalSample struct {
+	// Run labels the simulation ("workload/setup"); empty for bare runs.
+	Run string `json:"run,omitempty"`
+	// Index is the sample ordinal within the run, from 0.
+	Index int `json:"index"`
+	// Access is the cumulative access count at sampling time; Cycle the
+	// core cycle.
+	Access uint64  `json:"access"`
+	Cycle  float64 `json:"cycle"`
+
+	// Instructions and IPC cover this interval only.
+	Instructions uint64  `json:"instructions"`
+	IPC          float64 `json:"ipc"`
+
+	// Walks is real page walks this interval; LLTMPKI/LLCMPKI the
+	// interval miss rates per kilo-instruction.
+	Walks   uint64  `json:"walks"`
+	LLTMPKI float64 `json:"llt_mpki"`
+	LLCMPKI float64 `json:"llc_mpki"`
+
+	// Bypass rates are bypasses over fill opportunities (fills+bypasses)
+	// this interval, in [0,1].
+	LLTBypassRate float64 `json:"llt_bypass_rate"`
+	LLCBypassRate float64 `json:"llc_bypass_rate"`
+
+	// ShadowHits counts detected mispredictions this interval.
+	ShadowHits uint64 `json:"shadow_hits"`
+
+	// WalkQueueCycles is queueing delay accumulated behind the single
+	// page walker this interval; WalkerBacklog is the instantaneous
+	// number of cycles the walker is booked beyond "now" at sample time.
+	WalkQueueCycles uint64 `json:"walk_queue_cycles"`
+	WalkerBacklog   uint64 `json:"walker_backlog"`
+
+	// PHISTHist/BHISTHist tally the predictors' saturating counters by
+	// value (index = counter value) at sample time; nil when the
+	// installed predictor exposes none.
+	PHISTHist []uint64 `json:"phist_hist,omitempty"`
+	BHISTHist []uint64 `json:"bhist_hist,omitempty"`
+}
+
+// IntervalRecorder accumulates interval samples across runs.
+type IntervalRecorder struct {
+	// Every is the sampling cadence in accesses; the simulator samples
+	// when accesses%Every == 0. Zero disables sampling.
+	Every uint64
+
+	run     string
+	samples []IntervalSample
+	index   int
+}
+
+// NewIntervalRecorder builds a recorder sampling every n accesses.
+func NewIntervalRecorder(n uint64) *IntervalRecorder {
+	return &IntervalRecorder{Every: n}
+}
+
+// SetRun labels subsequent samples and restarts the per-run index.
+func (r *IntervalRecorder) SetRun(label string) {
+	r.run = label
+	r.index = 0
+}
+
+// Add appends one sample, stamping Run and Index, and returns the
+// sample's per-run index.
+func (r *IntervalRecorder) Add(s IntervalSample) int {
+	s.Run = r.run
+	s.Index = r.index
+	r.index++
+	r.samples = append(r.samples, s)
+	return s.Index
+}
+
+// Samples returns all recorded samples in emission order.
+func (r *IntervalRecorder) Samples() []IntervalSample { return r.samples }
+
+// metricsDoc is the -metrics-out JSON document shape.
+type metricsDoc struct {
+	IntervalAccesses uint64           `json:"interval_accesses,omitempty"`
+	Intervals        []IntervalSample `json:"intervals"`
+	Metrics          Snapshot         `json:"metrics,omitempty"`
+}
+
+// WriteMetricsJSON writes the observer's interval series and final metric
+// snapshot as one indented JSON document.
+func (o *Observer) WriteMetricsJSON(w io.Writer) error {
+	doc := metricsDoc{Intervals: []IntervalSample{}}
+	if o != nil && o.Interval != nil {
+		doc.IntervalAccesses = o.Interval.Every
+		if o.Interval.samples != nil {
+			doc.Intervals = o.Interval.samples
+		}
+	}
+	if o != nil && o.Metrics != nil {
+		doc.Metrics = o.Metrics.Snapshot()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,82 @@
+// Package obs is the simulator's observability layer: a zero-dependency
+// bundle of (1) a metrics registry of named counters, gauges and probes
+// with snapshot/delta semantics, (2) a structured event tracer — ring
+// buffer plus pluggable sinks (JSONL, CSV, null) — capturing the paper's
+// Figure 6/8 hook-point events (LLT fill/bypass/evict, shadow hits, pHIST
+// column flushes, PFQ pushes, LLC bypasses), (3) an interval recorder that
+// collects per-N-access time series (IPC, MPKI, bypass rates, walker-queue
+// pressure, pHIST/bHIST counter histograms) for learning-curve plots, and
+// (4) runtime/pprof profiling helpers for the commands.
+//
+// Everything is opt-in and nil-safe: a nil *Observer (or nil component
+// field) disables that layer, and the simulator guards every hook with a
+// single pointer check so the disabled configuration stays off the hot
+// path.
+package obs
+
+// Observer bundles the observability components a simulation publishes
+// into. Any field may be nil; the zero value observes nothing.
+type Observer struct {
+	// Tracer receives structured hook-point events.
+	Tracer *Tracer
+	// Metrics is the registry run counters are published into.
+	Metrics *Registry
+	// Interval collects per-N-access time-series samples.
+	Interval *IntervalRecorder
+
+	// scope is the per-run registry view created by BeginRun.
+	scope *Registry
+}
+
+// BeginRun marks the start of one simulation run (workload under setup).
+// It emits a run_start trace event, labels subsequent interval samples,
+// and scopes metric registration under "workload/setup/". Callers driving
+// a single bare System may skip it.
+func (o *Observer) BeginRun(workload, setup string) {
+	if o == nil {
+		return
+	}
+	label := workload + "/" + setup
+	if o.Tracer != nil {
+		o.Tracer.EmitLabeled(Event{Kind: EvRunStart}, label)
+	}
+	if o.Interval != nil {
+		o.Interval.SetRun(label)
+	}
+	if o.Metrics != nil {
+		o.scope = o.Metrics.Sub(label + "/")
+	}
+}
+
+// RunRegistry returns the registry view the current run should register
+// metrics into: the BeginRun scope when one exists, the root registry
+// otherwise, nil when metrics are disabled.
+func (o *Observer) RunRegistry() *Registry {
+	if o == nil {
+		return nil
+	}
+	if o.scope != nil {
+		return o.scope
+	}
+	return o.Metrics
+}
+
+// TraceAttacher is implemented by predictors that can emit their internal
+// events (pHIST column flushes, PFQ pushes) through a tracer.
+type TraceAttacher interface {
+	AttachTracer(*Tracer)
+}
+
+// MetricSource is implemented by predictors that publish their own
+// counters into a registry.
+type MetricSource interface {
+	RegisterMetrics(*Registry)
+}
+
+// CounterHistogrammer is implemented by predictors whose prediction-table
+// counter distribution is worth sampling per interval (dpPred's pHIST,
+// cbPred's bHIST). The returned slice tallies counters by value, index 0
+// first.
+type CounterHistogrammer interface {
+	CounterHistogram() []uint64
+}

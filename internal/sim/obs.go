@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"repro/internal/cache"
+	"repro/internal/obs"
+)
+
+// AttachObserver connects an observability bundle to the system: the
+// tracer receives the Figure 6/8 hook-point events (and is handed to
+// predictors that emit their own), the metrics registry gains probes for
+// every structure's counters, and the interval recorder is driven every
+// Interval.Every accesses. Passing nil detaches everything. Each hook in
+// the simulator is guarded by one pointer/integer check, so a detached
+// system pays nothing on the access path.
+//
+// Attach order is free: predictors installed after AttachObserver are
+// wired by SetTLBPredictor/SetLLCPredictor.
+func (s *System) AttachObserver(o *obs.Observer) {
+	s.observer = o
+	s.tr = nil
+	s.intervalEvery = 0
+	if o == nil {
+		return
+	}
+	s.tr = o.Tracer
+	if s.tr != nil {
+		s.tr.SetClock(func() (uint64, uint64) { return s.now(), s.accesses })
+	}
+	if o.Interval != nil && o.Interval.Every > 0 {
+		s.intervalEvery = o.Interval.Every
+		s.intervalBase = s.snap()
+	}
+	if reg := o.RunRegistry(); reg != nil {
+		s.registerMetrics(reg)
+	}
+	s.observePredictors()
+}
+
+// Observer returns the attached observability bundle (nil when detached).
+func (s *System) Observer() *obs.Observer { return s.observer }
+
+// observePredictors hands the tracer and registry to the installed
+// predictors; called from AttachObserver and the predictor setters so
+// either ordering works.
+func (s *System) observePredictors() {
+	if s.observer == nil {
+		return
+	}
+	reg := s.observer.RunRegistry()
+	for _, p := range []any{s.tlbPred, s.llcPred} {
+		if s.tr != nil {
+			if ta, ok := p.(obs.TraceAttacher); ok {
+				ta.AttachTracer(s.tr)
+			}
+		}
+		if reg != nil {
+			if m, ok := p.(obs.MetricSource); ok {
+				m.RegisterMetrics(reg)
+			}
+		}
+	}
+}
+
+// registerMetrics publishes every structure's counters as probes. Probes
+// are closures over the live structures, so a snapshot always reflects
+// current state; per-run registry scopes (obs.Observer.BeginRun) keep
+// successive runs apart.
+func (s *System) registerMetrics(r *obs.Registry) {
+	cacheStats := func(prefix string, st func() cache.Stats) {
+		r.RegisterProbe(prefix+".lookups", func() float64 { return float64(st().Lookups) })
+		r.RegisterProbe(prefix+".hits", func() float64 { return float64(st().Hits) })
+		r.RegisterProbe(prefix+".misses", func() float64 { return float64(st().Misses) })
+		r.RegisterProbe(prefix+".fills", func() float64 { return float64(st().Fills) })
+		r.RegisterProbe(prefix+".bypasses", func() float64 { return float64(st().Bypasses) })
+		r.RegisterProbe(prefix+".evictions", func() float64 { return float64(st().Evictions) })
+	}
+	cacheStats("itlb", s.itlb.Stats)
+	cacheStats("dtlb", s.dtlb.Stats)
+	cacheStats("llt", s.llt.Stats)
+	cacheStats("l1d", s.l1d.Stats)
+	cacheStats("l2", s.l2.Stats)
+	cacheStats("llc", s.llc.Stats)
+
+	r.RegisterProbe("walker.walks", func() float64 { return float64(s.walk.Stats().Walks) })
+	r.RegisterProbe("walker.pt_accesses", func() float64 { return float64(s.walk.Stats().PTAccesses) })
+	r.RegisterProbe("walker.walk_cycles", func() float64 { return float64(s.walk.Stats().WalkCycles) })
+	r.RegisterProbe("walker.full_walks", func() float64 { return float64(s.walk.Stats().FullWalks) })
+	r.RegisterProbe("walker.queue_cycles", func() float64 { return float64(s.walkQueueCycles) })
+
+	r.RegisterProbe("core.instructions", func() float64 { return float64(s.core.Instructions()) })
+	r.RegisterProbe("core.cycles", func() float64 { return s.core.Cycles() })
+	r.RegisterProbe("core.mem_ops", func() float64 { return float64(s.core.MemOps()) })
+	r.RegisterProbe("core.ipc", func() float64 {
+		if c := s.core.Cycles(); c > 0 {
+			return float64(s.core.Instructions()) / c
+		}
+		return 0
+	})
+
+	r.RegisterProbe("sim.accesses", func() float64 { return float64(s.accesses) })
+	r.RegisterProbe("sim.walks", func() float64 { return float64(s.walks) })
+	r.RegisterProbe("sim.shadow_fills", func() float64 { return float64(s.shadowFills) })
+}
+
+// sampleInterval emits one time-series point covering the accesses since
+// the previous sample (or since AttachObserver). Runs off the hot path —
+// once per intervalEvery accesses.
+func (s *System) sampleInterval() {
+	cur := s.snap()
+	b := s.intervalBase
+	s.intervalBase = cur
+
+	samp := obs.IntervalSample{
+		Access:          s.accesses,
+		Cycle:           cur.cycles,
+		Instructions:    cur.instructions - b.instructions,
+		Walks:           cur.walks - b.walks,
+		ShadowHits:      cur.shadowFills - b.shadowFills,
+		WalkQueueCycles: cur.walkQueue - b.walkQueue,
+	}
+	if dc := cur.cycles - b.cycles; dc > 0 {
+		samp.IPC = float64(samp.Instructions) / dc
+	}
+	if samp.Instructions > 0 {
+		ki := float64(samp.Instructions) / 1000
+		samp.LLTMPKI = float64(samp.Walks) / ki
+		samp.LLCMPKI = float64(cur.llcMisses-b.llcMisses) / ki
+	}
+	samp.LLTBypassRate = bypassRate(cur.lltBypasses-b.lltBypasses, cur.lltMisses-b.lltMisses)
+	samp.LLCBypassRate = bypassRate(cur.llcBypasses-b.llcBypasses, cur.llcMisses-b.llcMisses)
+	if now := s.now(); s.walkerBusyUntil > now {
+		samp.WalkerBacklog = s.walkerBusyUntil - now
+	}
+	if h, ok := s.tlbPred.(obs.CounterHistogrammer); ok {
+		samp.PHISTHist = h.CounterHistogram()
+	}
+	if h, ok := s.llcPred.(obs.CounterHistogrammer); ok {
+		samp.BHISTHist = h.CounterHistogram()
+	}
+	idx := s.observer.Interval.Add(samp)
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{Kind: obs.EvInterval, Key: uint64(idx)})
+	}
+}
+
+// bypassRate returns bypasses / misses (each miss is a fill opportunity;
+// bypassed misses are included in the miss count).
+func bypassRate(bypasses, misses uint64) float64 {
+	if misses == 0 {
+		return 0
+	}
+	return float64(bypasses) / float64(misses)
+}

@@ -33,6 +33,8 @@ type snapshot struct {
 	dtlbLookups, dtlbMisses uint64
 	pwcHits                 [3]uint64
 	fullWalks               uint64
+
+	memLatSum, memOps uint64
 }
 
 func (s *System) snap() snapshot {
@@ -43,6 +45,7 @@ func (s *System) snap() snapshot {
 	itlb := s.itlb.Stats()
 	dtlb := s.dtlb.Stats()
 	wk := s.walk.Stats()
+	latSum, memOps := s.core.MemLatencyStats()
 	return snapshot{
 		l1dLookups: l1d.Lookups, l1dMisses: l1d.Misses,
 		l2Lookups: l2.Lookups, l2Misses: l2.Misses,
@@ -61,9 +64,11 @@ func (s *System) snap() snapshot {
 		llcMisses:    llc.Misses,
 		llcBypasses:  llc.Bypasses,
 		lltBypasses:  llt.Bypasses,
-		ptAccesses:   s.walk.Stats().PTAccesses,
-		walkCycles:   s.walk.Stats().WalkCycles,
+		ptAccesses:   wk.PTAccesses,
+		walkCycles:   wk.WalkCycles,
 		walkQueue:    s.walkQueueCycles,
+		memLatSum:    latSum,
+		memOps:       memOps,
 	}
 }
 
@@ -112,7 +117,7 @@ type Result struct {
 	FullWalks uint64
 
 	// AvgMemLatency is the mean hierarchy latency per memory op over the
-	// whole run (the core does not snapshot per-region).
+	// measured region.
 	AvgMemLatency float64
 
 	// Instrumentation results (zero values when not enabled).
@@ -142,7 +147,6 @@ func (s *System) Result() Result {
 		PTAccesses:      cur.ptAccesses - b.ptAccesses,
 		WalkCycles:      cur.walkCycles - b.walkCycles,
 		WalkQueueCycles: cur.walkQueue - b.walkQueue,
-		AvgMemLatency:   s.core.AvgMemLatency(),
 		L1DLookups:      cur.l1dLookups - b.l1dLookups,
 		L1DMisses:       cur.l1dMisses - b.l1dMisses,
 		L2Lookups:       cur.l2Lookups - b.l2Lookups,
@@ -155,6 +159,9 @@ func (s *System) Result() Result {
 	}
 	for i := range r.PWCHits {
 		r.PWCHits[i] = cur.pwcHits[i] - b.pwcHits[i]
+	}
+	if ops := cur.memOps - b.memOps; ops > 0 {
+		r.AvgMemLatency = float64(cur.memLatSum-b.memLatSum) / float64(ops)
 	}
 	if r.Cycles > 0 {
 		r.IPC = float64(r.Instructions) / r.Cycles

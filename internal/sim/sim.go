@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/pagetable"
 	"repro/internal/policy"
 	"repro/internal/pred"
@@ -47,6 +48,14 @@ type System struct {
 	corr        *stats.DOACorrelation
 	sampleEvery uint64
 
+	// Observability (nil/zero unless attached; see AttachObserver). tr
+	// and intervalEvery are cached from observer so the hot-path guards
+	// are a single load each.
+	observer      *obs.Observer
+	tr            *obs.Tracer
+	intervalEvery uint64
+	intervalBase  snapshot
+
 	// Counters owned by the system.
 	accesses    uint64
 	walks       uint64
@@ -72,6 +81,7 @@ type coreModel interface {
 	Cycles() float64
 	Instructions() uint64
 	MemOps() uint64
+	MemLatencyStats() (sum, ops uint64)
 	AvgMemLatency() float64
 }
 
@@ -138,6 +148,7 @@ func (s *System) SetTLBPredictor(p pred.TLBPredictor) {
 		p = pred.NullTLB{}
 	}
 	s.tlbPred = p
+	s.observePredictors()
 }
 
 // SetLLCPredictor installs the LLC predictor (nil restores the baseline).
@@ -146,6 +157,7 @@ func (s *System) SetLLCPredictor(p pred.LLCPredictor) {
 		p = pred.NullLLC{}
 	}
 	s.llcPred = p
+	s.observePredictors()
 }
 
 // SetTLBPrefetcher installs a TLB prefetcher (extension; nil disables).
@@ -235,6 +247,9 @@ func (s *System) Step(a trace.Access) error {
 		s.lltSampler.Sample(s.llt.Inner())
 		s.llcSampler.Sample(s.llc)
 	}
+	if s.intervalEvery != 0 && s.accesses%s.intervalEvery == 0 {
+		s.sampleInterval()
+	}
 	return nil
 }
 
@@ -282,6 +297,9 @@ func (s *System) translate(vpn arch.VPN, pc uint64, instr bool) (arch.Lat, arch.
 	// before walking (Fig. 6a).
 	if pfn, handled := s.tlbPred.OnMiss(vpn, pc); handled {
 		s.shadowFills++
+		if s.tr != nil {
+			s.tr.Emit(obs.Event{Kind: obs.EvShadowHit, Key: uint64(vpn), Aux: uint64(pfn), PC: pc})
+		}
 		s.lltFill(vpn, pfn, pc, pred.Decision{PCHash: uint16(xhash.PC(pc, 6))})
 		if s.lltAcc != nil {
 			s.lltAcc.Access(uint64(vpn), false, now)
@@ -306,12 +324,18 @@ func (s *System) translate(vpn arch.VPN, pc uint64, instr bool) (arch.Lat, arch.
 	}
 	s.walkerBusyUntil = start + uint64(res.Latency)
 	effWalk := arch.Lat(s.walkerBusyUntil - now)
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{Kind: obs.EvWalk, Key: uint64(vpn), Aux: uint64(effWalk), Flag: !walkerWasIdle})
+	}
 	d := s.tlbPred.OnFill(vpn, res.PFN, pc)
 	if s.lltAcc != nil {
 		s.lltAcc.Access(uint64(vpn), d.PredictDOA, now)
 	}
 	if d.Bypass {
 		s.llt.RecordBypass()
+		if s.tr != nil {
+			s.tr.Emit(obs.Event{Kind: obs.EvLLTBypass, Key: uint64(vpn), Aux: uint64(res.PFN), PC: pc})
+		}
 		// Fig. 6b: announce the DOA page's frame to the LLC side.
 		if l, ok := s.llcPred.(pred.DOAPageListener); ok {
 			l.NotifyDOAPage(res.PFN)
@@ -356,6 +380,9 @@ func (s *System) translate(vpn arch.VPN, pc uint64, instr bool) (arch.Lat, arch.
 // lltFill allocates an LLT entry and processes the resulting eviction.
 func (s *System) lltFill(vpn arch.VPN, pfn arch.PFN, pc uint64, d pred.Decision) {
 	now := s.now()
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{Kind: obs.EvLLTFill, Key: uint64(vpn), Aux: uint64(pfn), PC: pc})
+	}
 	nb, victim, evicted := s.llt.Fill(vpn, pfn, d.PCHash, d.Hint, now)
 	nb.Sig = d.Sig
 	if ff, ok := s.tlbPred.(pred.FillFinisher); ok {
@@ -363,6 +390,9 @@ func (s *System) lltFill(vpn arch.VPN, pfn arch.PFN, pc uint64, d pred.Decision)
 	}
 	if !evicted {
 		return
+	}
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{Kind: obs.EvLLTEvict, Key: victim.Key, Aux: victim.Data, Flag: victim.Accessed})
 	}
 	if !victim.Prefetched {
 		s.tlbPred.OnEvict(victim)
@@ -430,7 +460,13 @@ func (s *System) memAccess(pa arch.PAddr, pc uint64, write bool) arch.Lat {
 	}
 	if d.Bypass {
 		s.llc.RecordBypass()
+		if s.tr != nil {
+			s.tr.Emit(obs.Event{Kind: obs.EvLLCBypass, Key: key, PC: pc})
+		}
 	} else {
+		if s.tr != nil {
+			s.tr.Emit(obs.Event{Kind: obs.EvLLCFill, Key: key, PC: pc, Flag: d.SetDP})
+		}
 		nb, victim, evicted := s.llc.Fill(key, d.Hint, now)
 		nb.DP = d.SetDP
 		nb.Sig = d.Sig
@@ -439,6 +475,9 @@ func (s *System) memAccess(pa arch.PAddr, pc uint64, write bool) arch.Lat {
 			ff.OnFillDone(nb)
 		}
 		if evicted {
+			if s.tr != nil {
+				s.tr.Emit(obs.Event{Kind: obs.EvLLCEvict, Key: victim.Key, Flag: victim.Accessed})
+			}
 			s.llcPred.OnEvict(victim)
 			if s.llcSampler != nil {
 				s.llcSampler.OnEvict(victim, now)

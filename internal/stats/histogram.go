@@ -1,0 +1,17 @@
+package stats
+
+// Histogram8 tallies byte-valued saturating counters by value: the result
+// has max+1 buckets and result[v] is how many counters across all rows
+// hold v. The interval sampler uses it to snapshot dpPred's pHIST and
+// cbPred's bHIST distributions for learning-curve plots.
+func Histogram8(max uint8, rows ...[]uint8) []uint64 {
+	h := make([]uint64, int(max)+1)
+	for _, row := range rows {
+		for _, v := range row {
+			if int(v) < len(h) {
+				h[v]++
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,17 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestHistogram8(t *testing.T) {
+	got := Histogram8(3, []uint8{0, 1, 1, 3}, []uint8{3, 3, 2})
+	want := []uint64{1, 2, 1, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Histogram8 = %v, want %v", got, want)
+	}
+	if len(Histogram8(7)) != 8 {
+		t.Fatal("empty rows must still size max+1 buckets")
+	}
+}
