@@ -8,6 +8,11 @@
 //	paperexp -quick          # reduced trace lengths (~2 minutes)
 //	paperexp -only fig9,tab4 # a subset
 //	paperexp -list           # list experiment IDs
+//	paperexp -jobs 8         # worker-pool width (default GOMAXPROCS)
+//
+// Simulations are sharded across a bounded worker pool (-jobs); every run
+// is seeded, results are aggregated in the paper's fixed order, and the
+// printed tables are byte-identical whatever the job count.
 //
 // Observability (see DESIGN.md §8): -trace FILE streams JSONL (or CSV, by
 // extension) hook-point events, -metrics-out FILE writes interval time
@@ -19,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -70,6 +76,7 @@ func run() error {
 		only       = flag.String("only", "", "comma-separated experiment IDs (default: all)")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 		seed       = flag.Uint64("seed", 1, "workload and allocator seed")
+		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulations (1 = sequential; output is identical either way)")
 		verbose    = flag.Bool("v", false, "print per-simulation progress with elapsed time")
 		traceOut   = flag.String("trace", "", "write hook-point event trace to file (JSONL; a .csv extension selects CSV)")
 		metricsOut = flag.String("metrics-out", "", "write interval time series and final metrics JSON to file")
@@ -105,6 +112,7 @@ func run() error {
 	}
 	params.Seed = *seed
 	r := exp.NewRunner(params)
+	r.SetJobs(*jobs)
 	if *verbose {
 		r.ProgressStart = func(w, s string) {
 			fmt.Fprintf(os.Stderr, "  simulating %s under %s\n", w, s)

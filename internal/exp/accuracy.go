@@ -43,6 +43,13 @@ func cbPredNoPFQSetup() Setup {
 // accuracySeries builds an accuracy/coverage grid from a list of setups,
 // reading either the LLT-side or LLC-side grading.
 func (r *Runner) accuracySeries(id, title string, setups []Setup, names []string, llcSide bool) (Series, error) {
+	graded := make([]Setup, len(setups))
+	for i, su := range setups {
+		graded[i] = withAccuracy(su)
+	}
+	if err := r.RunGrid(trace.Workloads(), graded); err != nil {
+		return Series{}, err
+	}
 	s := Series{
 		ID:    id,
 		Title: title,

@@ -19,9 +19,18 @@ func (r *Runner) characterize(w trace.Workload) (sim.Result, error) {
 	return r.Run(w, characterizationSetup())
 }
 
+// warmCharacterize shards the per-workload characterization passes across
+// the worker pool; the first figure pays, the rest replay from the memo.
+func (r *Runner) warmCharacterize() error {
+	return r.RunGrid(trace.Workloads(), []Setup{characterizationSetup()})
+}
+
 // Figure1 reports the fraction of LLT entries dead or DOA at any time
 // (sampled residency view).
 func Figure1(r *Runner) (Series, error) {
+	if err := r.warmCharacterize(); err != nil {
+		return Series{}, err
+	}
 	s := Series{
 		ID:    "Figure 1",
 		Title: "Fraction of LLT entries dead or DOA at any time",
@@ -45,6 +54,9 @@ func Figure1(r *Runner) (Series, error) {
 
 // Figure2 classifies LLT evictions into mostly-dead and DOA.
 func Figure2(r *Runner) (Series, error) {
+	if err := r.warmCharacterize(); err != nil {
+		return Series{}, err
+	}
 	s := Series{
 		ID:    "Figure 2",
 		Title: "Classification of dead pages in LLT (at eviction)",
@@ -69,6 +81,9 @@ func Figure2(r *Runner) (Series, error) {
 
 // Figure3 reports the fraction of LLC entries dead or DOA at any time.
 func Figure3(r *Runner) (Series, error) {
+	if err := r.warmCharacterize(); err != nil {
+		return Series{}, err
+	}
 	s := Series{
 		ID:    "Figure 3",
 		Title: "Fraction of LLC entries dead or DOA at any time",
@@ -92,6 +107,9 @@ func Figure3(r *Runner) (Series, error) {
 
 // Figure4 classifies LLC evictions into mostly-dead and DOA.
 func Figure4(r *Runner) (Series, error) {
+	if err := r.warmCharacterize(); err != nil {
+		return Series{}, err
+	}
 	s := Series{
 		ID:    "Figure 4",
 		Title: "Classification of dead blocks in LLC (at eviction)",
@@ -117,6 +135,9 @@ func Figure4(r *Runner) (Series, error) {
 // Table3 reports the percentage of LLC DOA blocks that map onto a DOA page
 // in the LLT.
 func Table3(r *Runner) (Series, error) {
+	if err := r.warmCharacterize(); err != nil {
+		return Series{}, err
+	}
 	s := Series{
 		ID:    "Table III",
 		Title: "Percentage of LLC DOA blocks that map on to a DOA page in LLT",

@@ -3,8 +3,13 @@ package exp
 import "repro/internal/trace"
 
 // ipcSeries builds a normalized-IPC grid: each setup's IPC divided by the
-// baseline setup's IPC on the same workload.
+// baseline setup's IPC on the same workload. The whole grid is simulated
+// through the worker pool first; the aggregation loops below then replay
+// from the memo in the paper's fixed row/column order.
 func (r *Runner) ipcSeries(id, title string, baseline Setup, setups []Setup) (Series, error) {
+	if err := r.RunGrid(trace.Workloads(), append([]Setup{baseline}, setups...)); err != nil {
+		return Series{}, err
+	}
 	s := Series{
 		ID:    id,
 		Title: title,
@@ -52,6 +57,9 @@ func Table4(r *Runner) (Series, error) {
 		Cols:  []string{"AIP-TLB", "SHiP-TLB", "dpPred", "Iso-TLB", "Oracle"},
 	}
 	setups := []Setup{AIPTLBSetup(), SHiPTLBSetup(), DPPredSetup(), IsoStorageSetup(), OracleSetup()}
+	if err := r.RunGrid(trace.Workloads(), append([]Setup{Baseline()}, setups...)); err != nil {
+		return Series{}, err
+	}
 	for _, w := range trace.Workloads() {
 		base, err := r.Run(w, Baseline())
 		if err != nil {
@@ -90,6 +98,9 @@ func Table5(r *Runner) (Series, error) {
 		Cols:  []string{"AIP-LLC", "SHiP-LLC", "cbPred"},
 	}
 	setups := []Setup{AIPLLCSetup(), SHiPLLCSetup(), DPPredCBPredSetup()}
+	if err := r.RunGrid(trace.Workloads(), append([]Setup{Baseline()}, setups...)); err != nil {
+		return Series{}, err
+	}
 	for _, w := range trace.Workloads() {
 		base, err := r.Run(w, Baseline())
 		if err != nil {

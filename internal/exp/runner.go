@@ -6,6 +6,8 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -71,48 +73,128 @@ type Instrumentation struct {
 
 // Runner executes setups against workloads, memoizing results so that
 // experiments sharing a configuration (e.g. the baseline) simulate once.
+//
+// The runner is safe for concurrent use: uncached simulations are sharded
+// across a bounded worker pool (SetJobs; default runtime.GOMAXPROCS), the
+// memo is single-flight per (workload, setup) key so a shared baseline
+// still simulates exactly once no matter how many experiments race for it,
+// and every run observes through its own obs.Observer.ForkRun scope so
+// traces, interval series and metrics from parallel runs never interleave.
+// Every simulation is seeded, so results are byte-identical whatever the
+// job count (see TestParallelMatchesSequential).
 type Runner struct {
 	params Params
-	memo   map[string]sim.Result
+	jobs   int
+	sem    chan struct{} // worker-pool slots, capacity jobs
+
+	mu   sync.Mutex
+	memo map[string]*memoEntry
+
 	// ProgressStart, when set, is called as each uncached simulation
-	// begins; memoized replays report nothing.
+	// begins; memoized replays report nothing. With jobs > 1 the progress
+	// callbacks run concurrently from pool workers.
 	ProgressStart func(workload, setup string)
 	// ProgressDone, when set, is called as each uncached simulation
 	// finishes, with its wall-clock duration.
 	ProgressDone func(workload, setup string, elapsed time.Duration)
-	// Observer, when set, is attached to every simulated system: each
-	// run is announced via BeginRun ("workload/setup"), so traces,
-	// interval series and metrics from all runs land in one bundle.
+	// Observer, when set, observes every simulated system: each run gets
+	// an isolated ForkRun scope labeled "workload/setup", joined back into
+	// this bundle when the run finishes.
 	Observer *obs.Observer
 }
 
-// NewRunner creates a runner with the given parameters.
-func NewRunner(p Params) *Runner {
-	return &Runner{params: p, memo: make(map[string]sim.Result)}
+// memoEntry is one single-flight memo slot: the first caller for a key
+// becomes the leader and simulates; everyone else waits on done.
+type memoEntry struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
 }
+
+// NewRunner creates a runner with the given parameters and a worker pool
+// sized to runtime.GOMAXPROCS.
+func NewRunner(p Params) *Runner {
+	r := &Runner{params: p, memo: make(map[string]*memoEntry)}
+	r.SetJobs(runtime.GOMAXPROCS(0))
+	return r
+}
+
+// SetJobs bounds the number of simulations in flight (1 = sequential).
+// Values below 1 are clamped to 1. Call before submitting work; resizing
+// does not affect simulations already holding a pool slot.
+func (r *Runner) SetJobs(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.jobs = n
+	r.sem = make(chan struct{}, n)
+}
+
+// Jobs returns the worker-pool bound.
+func (r *Runner) Jobs() int { return r.jobs }
 
 // Params returns the runner's parameters.
 func (r *Runner) Params() Params { return r.params }
 
-// Run simulates one workload under one setup (memoized).
+// Run simulates one workload under one setup (memoized, single-flight).
+// Concurrent callers asking for the same key block until the leader's
+// simulation finishes and then share its result; errors are memoized too.
 func (r *Runner) Run(w trace.Workload, setup Setup) (sim.Result, error) {
 	key := w.Name + "/" + setup.Name
-	if res, ok := r.memo[key]; ok {
-		return res, nil
+	r.mu.Lock()
+	if e, ok := r.memo[key]; ok {
+		r.mu.Unlock()
+		<-e.done
+		return e.res, e.err
 	}
+	e := &memoEntry{done: make(chan struct{})}
+	r.memo[key] = e
+	r.mu.Unlock()
+
+	r.sem <- struct{}{} // acquire a pool slot
 	if r.ProgressStart != nil {
 		r.ProgressStart(w.Name, setup.Name)
 	}
 	start := time.Now()
 	res, err := r.runUncached(w, setup)
 	if err != nil {
-		return sim.Result{}, fmt.Errorf("exp: %s under %s: %w", w.Name, setup.Name, err)
-	}
-	if r.ProgressDone != nil {
+		err = fmt.Errorf("exp: %s under %s: %w", w.Name, setup.Name, err)
+	} else if r.ProgressDone != nil {
 		r.ProgressDone(w.Name, setup.Name, time.Since(start))
 	}
-	r.memo[key] = res
-	return res, nil
+	<-r.sem // release the slot before waking waiters
+
+	e.res, e.err = res, err
+	close(e.done)
+	return res, err
+}
+
+// RunGrid simulates the full workload × setup cross product, sharding the
+// uncached runs across the worker pool, and returns the first error. All
+// results land in the memo, so callers aggregate afterwards by replaying
+// Run in whatever fixed order the report needs — aggregation order is
+// completely decoupled from completion order.
+func (r *Runner) RunGrid(workloads []trace.Workload, setups []Setup) error {
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for _, w := range workloads {
+		for _, su := range setups {
+			wg.Add(1)
+			go func(w trace.Workload, su Setup) {
+				defer wg.Done()
+				if _, err := r.Run(w, su); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}(w, su)
+		}
+	}
+	wg.Wait()
+	return firstErr
 }
 
 func (r *Runner) runUncached(w trace.Workload, setup Setup) (sim.Result, error) {
@@ -163,9 +245,13 @@ func (r *Runner) runUncached(w trace.Workload, setup Setup) (sim.Result, error) 
 	if r.Observer != nil {
 		// Attach before warmup: learning curves need the predictors'
 		// cold-start behaviour, so interval samples and trace events
-		// cover the whole run (Result stays measurement-scoped).
-		r.Observer.BeginRun(w.Name, setup.Name)
-		s.AttachObserver(r.Observer)
+		// cover the whole run (Result stays measurement-scoped). Each run
+		// observes through its own forked scope so parallel runs cannot
+		// interleave; join publishes into the shared bundle even when the
+		// run errors, flushing whatever was traced.
+		child, join := r.Observer.ForkRun(w.Name, setup.Name)
+		defer join()
+		s.AttachObserver(child)
 	}
 
 	g := w.New(r.params.Seed)

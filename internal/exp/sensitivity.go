@@ -24,6 +24,16 @@ func lltSizeConfig(entries int) func() sim.Config {
 // column is normalized to the baseline of the same size.
 func Figure11a(r *Runner) (Series, error) {
 	sizes := []int{512, 1024, 1536}
+	var grid []Setup
+	for _, n := range sizes {
+		cfgFn := lltSizeConfig(n)
+		grid = append(grid,
+			Setup{Name: fmt.Sprintf("base-llt%d", n), Config: cfgFn},
+			Setup{Name: fmt.Sprintf("dpPred-llt%d", n), Config: cfgFn, TLB: newDPPred})
+	}
+	if err := r.RunGrid(trace.Workloads(), grid); err != nil {
+		return Series{}, err
+	}
 	s := Series{
 		ID:    "Figure 11a",
 		Title: "Performance of dpPred for different TLB sizes",
@@ -142,6 +152,19 @@ func llcSizeConfig(sizeKB int) func() sim.Config {
 // column is normalized to the baseline with the same LLC.
 func Figure11e(r *Runner) (Series, error) {
 	sizes := []int{2048, 3072}
+	var grid []Setup
+	for _, kb := range sizes {
+		cfgFn := llcSizeConfig(kb)
+		grid = append(grid,
+			Setup{Name: fmt.Sprintf("base-llc%d", kb), Config: cfgFn},
+			Setup{
+				Name: fmt.Sprintf("dpPred+cbPred-llc%d", kb), Config: cfgFn,
+				TLB: newDPPred, LLC: newCBPred,
+			})
+	}
+	if err := r.RunGrid(trace.Workloads(), grid); err != nil {
+		return Series{}, err
+	}
 	s := Series{
 		ID:    "Figure 11e",
 		Title: "Performance with dpPred and cbPred for different LLC sizes",

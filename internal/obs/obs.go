@@ -14,8 +14,16 @@
 // path.
 package obs
 
+import "sync"
+
 // Observer bundles the observability components a simulation publishes
 // into. Any field may be nil; the zero value observes nothing.
+//
+// An Observer attached directly to a System is single-threaded, like the
+// simulator. To observe simulations running in parallel, give each run its
+// own view via ForkRun: children buffer privately and publish into the
+// parent atomically, so traces and interval series from concurrent runs
+// never interleave.
 type Observer struct {
 	// Tracer receives structured hook-point events.
 	Tracer *Tracer
@@ -26,6 +34,9 @@ type Observer struct {
 
 	// scope is the per-run registry view created by BeginRun.
 	scope *Registry
+
+	// mu serializes ForkRun joins (cross-run flushes into Tracer/Interval).
+	mu sync.Mutex
 }
 
 // BeginRun marks the start of one simulation run (workload under setup).
@@ -60,6 +71,78 @@ func (o *Observer) RunRegistry() *Registry {
 	}
 	return o.Metrics
 }
+
+// ForkRun returns an isolated child observer for one simulation run plus
+// a join function. The child gets its own tracer (buffering every event in
+// memory, starting with the run_start event), its own interval recorder
+// labeled "workload/setup", and a registry view scoped under
+// "workload/setup/" (registry views share one mutex-guarded store, so
+// concurrent registration is safe). The join flushes the child's buffered
+// events and samples into the parent atomically: events re-acquire
+// globally monotone sequence numbers and land in the parent's ring and
+// sink contiguously per run.
+//
+// ForkRun on a nil observer returns (nil, no-op), so callers can fork
+// unconditionally. Each child must observe exactly one single-threaded
+// run; join must be called exactly once, after the run finishes. When runs
+// execute sequentially and join in run order, the flushed trace is
+// identical to what one shared observer would have streamed.
+func (o *Observer) ForkRun(workload, setup string) (*Observer, func()) {
+	if o == nil {
+		return nil, func() {}
+	}
+	label := workload + "/" + setup
+	child := &Observer{}
+	var events *captureSink
+	if o.Tracer != nil {
+		events = &captureSink{}
+		// Ring size 1: children are write-through buffers, never inspected
+		// post-mortem (the parent's ring is refilled at join).
+		child.Tracer = NewTracer(1, events)
+		child.Tracer.EmitLabeled(Event{Kind: EvRunStart}, label)
+	}
+	if o.Interval != nil {
+		child.Interval = NewIntervalRecorder(o.Interval.Every)
+		child.Interval.SetRun(label)
+	}
+	if o.Metrics != nil {
+		child.Metrics = o.Metrics.Sub(label + "/")
+	}
+	join := func() {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		if events != nil {
+			// Child events carry their own (cycle, access) stamps; a clock
+			// left on the parent from a direct attachment must not restamp
+			// them.
+			saved := o.Tracer.clock
+			o.Tracer.clock = nil
+			for _, ev := range events.events {
+				o.Tracer.Emit(ev)
+			}
+			o.Tracer.clock = saved
+		}
+		if child.Interval != nil {
+			o.Interval.samples = append(o.Interval.samples, child.Interval.samples...)
+		}
+	}
+	return child, join
+}
+
+// captureSink buffers events in memory for a ForkRun child until its join
+// republishes them through the parent tracer.
+type captureSink struct {
+	events []Event
+}
+
+// WriteEvent implements Sink.
+func (c *captureSink) WriteEvent(ev Event) error {
+	c.events = append(c.events, ev)
+	return nil
+}
+
+// Close implements Sink.
+func (c *captureSink) Close() error { return nil }
 
 // TraceAttacher is implemented by predictors that can emit their internal
 // events (pHIST column flushes, PFQ pushes) through a tracer.

@@ -7,7 +7,9 @@ import (
 )
 
 // Sink consumes traced events. Implementations need not be concurrency
-// safe: the simulator is single-threaded and the tracer serializes writes.
+// safe: each simulation is single-threaded, and when runs execute in
+// parallel every run traces into its own ForkRun child whose join flushes
+// to the shared sink under the parent observer's lock.
 type Sink interface {
 	WriteEvent(Event) error
 	// Close flushes buffered output. It does not close any underlying

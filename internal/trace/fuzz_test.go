@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// recordSeed captures n accesses of a synthetic workload exactly the way
+// cmd/tracedump does, giving the fuzzer structurally valid corpora to
+// mutate from.
+func recordSeed(f *testing.F, name string, n uint64) []byte {
+	f.Helper()
+	w, err := ByName(name)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(&buf, w.New(1), n); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReplayer feeds arbitrary bytes through the trace parser in both
+// replay modes. The parser must never panic or loop: it either rejects the
+// input from NewReplayer or replays it, latching the first read error in
+// Err while the Generator contract keeps returning the last good access.
+func FuzzReplayer(f *testing.F) {
+	for _, name := range []string{"cc", "sssp"} {
+		seed := recordSeed(f, name, 16)
+		f.Add(seed, false)
+		f.Add(seed, true)
+		f.Add(seed[:len(seed)-5], true) // truncated mid-record
+	}
+	f.Add([]byte(nil), false)
+	f.Add([]byte("DPTR"), false)                                  // magic only
+	f.Add([]byte("DPTR\x01\x00\x00\x00\x00\x00"), true)           // empty name, no records
+	f.Add([]byte("DPTR\x02\x00\x00\x00\x00\x00"), false)          // unsupported version
+	f.Add([]byte("DPTR\x01\x00\x01\x00\x00\x00"), false)          // reserved header flags set
+	f.Add([]byte("DPTR\x01\x00\x00\x00\xff\xffshort"), false)     // name length beyond data
+	f.Add(append([]byte("DPTR\x01\x00\x00\x00\x02\x00cc"), make([]byte, 24)...), true) // one zero record
+
+	f.Fuzz(func(t *testing.T, data []byte, loop bool) {
+		rp, err := NewReplayer(bytes.NewReader(data), loop)
+		if err != nil {
+			return
+		}
+		var last Access
+		for i := 0; i < 64; i++ {
+			a := rp.Next()
+			if rp.Err != nil {
+				// Errors must latch: every subsequent Next repeats the
+				// last good access without clearing Err.
+				if got := rp.Next(); got != a {
+					t.Errorf("Next after latched error changed: %+v then %+v", a, got)
+				}
+				if rp.Err == nil {
+					t.Error("Err cleared by Next after latching")
+				}
+				return
+			}
+			last = a
+		}
+		_ = last
+	})
+}
+
+// FuzzRoundTrip checks Writer → Replayer is lossless for any access record.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0x400123), uint64(0x7fff_0000_1000), uint32(3), true, false)
+	f.Add(uint64(0), uint64(0), uint32(0), false, false)
+	f.Add(^uint64(0), ^uint64(0), ^uint32(0), true, true)
+
+	f.Fuzz(func(t *testing.T, pc, addr uint64, gap uint32, write, dep bool) {
+		in := Access{PC: pc, Addr: arch.VAddr(addr), Gap: gap, Write: write, Dependent: dep}
+		var buf bytes.Buffer
+		tw, err := NewWriter(&buf, "fuzz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tw.Write(in); err != nil {
+			t.Fatal(err)
+		}
+		if err := tw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rp, err := NewReplayer(bytes.NewReader(buf.Bytes()), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rp.Next(); rp.Err != nil || got != in {
+			t.Fatalf("round trip: wrote %+v, read %+v (err %v)", in, got, rp.Err)
+		}
+		if rp.Name() != "fuzz" {
+			t.Fatalf("name %q, want %q", rp.Name(), "fuzz")
+		}
+	})
+}

@@ -139,6 +139,9 @@ func NewReplayer(r io.Reader, loop bool) (*Replayer, error) {
 	if v := binary.LittleEndian.Uint16(hdr[0:]); v != traceVersion {
 		return nil, fmt.Errorf("trace: unsupported version %d", v)
 	}
+	if fl := binary.LittleEndian.Uint16(hdr[2:]); fl != 0 {
+		return nil, fmt.Errorf("trace: reserved header flags %#x set", fl)
+	}
 	nameLen := int(binary.LittleEndian.Uint16(hdr[4:]))
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
@@ -159,25 +162,41 @@ func NewReplayer(r io.Reader, loop bool) (*Replayer, error) {
 // Name implements Generator.
 func (t *Replayer) Name() string { return t.name }
 
-// Next implements Generator.
+// errEmptyTrace reports a structurally valid trace with zero records.
+var errEmptyTrace = errors.New("trace: no records")
+
+// Next implements Generator. The retry loop handles at most one rewind:
+// looping replay seeks back to the first record on clean EOF, and a trace
+// that still cannot produce a record latches errEmptyTrace rather than
+// spinning.
 func (t *Replayer) Next() Access {
 	if t.Err != nil {
 		return t.last
 	}
-	if _, err := io.ReadFull(t.r, t.buf[:]); err != nil {
-		if err == io.EOF && t.any {
-			if t.loop {
-				if _, serr := t.seeker.Seek(t.body, io.SeekStart); serr != nil {
-					t.Err = serr
-					return t.last
-				}
-				t.r.Reset(t.seeker)
-				return t.Next()
-			}
-			return t.last // repeat final access
+	for rewinds := 0; ; rewinds++ {
+		_, err := io.ReadFull(t.r, t.buf[:])
+		if err == nil {
+			break
 		}
-		t.Err = err
-		return t.last
+		if err != io.EOF {
+			t.Err = err
+			return t.last
+		}
+		if !t.any || !t.loop {
+			if !t.any {
+				t.Err = errEmptyTrace
+			}
+			return t.last // repeat final access (or zero value, Err latched)
+		}
+		if rewinds > 0 {
+			t.Err = errEmptyTrace
+			return t.last
+		}
+		if _, serr := t.seeker.Seek(t.body, io.SeekStart); serr != nil {
+			t.Err = serr
+			return t.last
+		}
+		t.r.Reset(t.seeker)
 	}
 	t.any = true
 	b := t.buf[:]
