@@ -14,8 +14,9 @@
 // is seeded, results are aggregated in the paper's fixed order, and the
 // printed tables are byte-identical whatever the job count.
 //
-// Observability (see DESIGN.md §8): -trace FILE streams JSONL (or CSV, by
-// extension) hook-point events, -metrics-out FILE writes interval time
+// Observability (see DESIGN.md §8): -trace-out FILE streams JSONL (or CSV,
+// by extension) hook-point events (-trace is a deprecated alias; deadsim's
+// -trace is a replay input), -metrics-out FILE writes interval time
 // series plus final counters as JSON, -interval N sets the sampling
 // cadence, and -cpuprofile/-memprofile capture pprof profiles.
 package main
@@ -78,13 +79,24 @@ func run() error {
 		seed       = flag.Uint64("seed", 1, "workload and allocator seed")
 		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulations (1 = sequential; output is identical either way)")
 		verbose    = flag.Bool("v", false, "print per-simulation progress with elapsed time")
-		traceOut   = flag.String("trace", "", "write hook-point event trace to file (JSONL; a .csv extension selects CSV)")
+		traceOut   = flag.String("trace-out", "", "write hook-point event trace to file (JSONL; a .csv extension selects CSV)")
+		traceOld   = flag.String("trace", "", "deprecated alias for -trace-out")
 		metricsOut = flag.String("metrics-out", "", "write interval time series and final metrics JSON to file")
 		interval   = flag.Uint64("interval", 50_000, "accesses between interval samples (used with -metrics-out)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to file")
 	)
 	flag.Parse()
+
+	// -trace was renamed -trace-out to stop colliding with deadsim's
+	// -trace, which names a replay INPUT. The old spelling still works.
+	if *traceOld != "" {
+		if *traceOut != "" {
+			return fmt.Errorf("-trace is a deprecated alias for -trace-out; set only one")
+		}
+		fmt.Fprintln(os.Stderr, "paperexp: -trace is deprecated; use -trace-out")
+		*traceOut = *traceOld
+	}
 
 	if *list {
 		for _, e := range experiments {

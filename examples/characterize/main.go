@@ -4,20 +4,26 @@
 // observation behind cbPred).
 //
 //	go run ./examples/characterize [workload]
+//	go run ./examples/characterize -warmup 5000 -n 20000 pr   # smoke-test scale
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	deadpred "repro"
 )
 
 func main() {
+	var (
+		warmup  = flag.Uint64("warmup", 200_000, "warmup accesses before measurement")
+		measure = flag.Uint64("n", 800_000, "measured accesses")
+	)
+	flag.Parse()
 	name := "pr"
-	if len(os.Args) > 1 {
-		name = os.Args[1]
+	if flag.NArg() > 0 {
+		name = flag.Arg(0)
 	}
 	w, err := deadpred.WorkloadByName(name)
 	if err != nil {
@@ -31,12 +37,12 @@ func main() {
 	}
 
 	g := w.New(1)
-	if err := sys.Run(g, 200_000); err != nil { // warm the hierarchy
+	if err := sys.Run(g, *warmup); err != nil { // warm the hierarchy
 		log.Fatal(err)
 	}
-	sys.EnableCharacterization(20_000)
+	sys.EnableCharacterization(*measure / 40)
 	sys.StartMeasurement()
-	if err := sys.Run(g, 800_000); err != nil {
+	if err := sys.Run(g, *measure); err != nil {
 		log.Fatal(err)
 	}
 	sys.Finish()

@@ -4,9 +4,11 @@
 // application's access behaviour.
 //
 //	go run ./examples/customtrace
+//	go run ./examples/customtrace -warmup 10000 -n 40000   # smoke-test scale
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,6 +16,11 @@ import (
 )
 
 func main() {
+	var (
+		warmup  = flag.Uint64("warmup", 300_000, "warmup accesses before measurement")
+		measure = flag.Uint64("n", 1_000_000, "measured accesses")
+	)
+	flag.Parse()
 	// A key-value store shaped workload: a large hash table probed with
 	// Zipf-skewed popularity, a log written sequentially, and a small
 	// hot index. The skewed probe stream is the interesting one: its
@@ -58,11 +65,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := sys.Run(g, 300_000); err != nil {
+		if err := sys.Run(g, *warmup); err != nil {
 			log.Fatal(err)
 		}
 		sys.StartMeasurement()
-		if err := sys.Run(g, 1_000_000); err != nil {
+		if err := sys.Run(g, *measure); err != nil {
 			log.Fatal(err)
 		}
 		res := sys.Result()

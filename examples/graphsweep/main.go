@@ -3,9 +3,11 @@
 // whose huge, sparsely-reused footprints motivate the paper.
 //
 //	go run ./examples/graphsweep
+//	go run ./examples/graphsweep -warmup 5000 -n 20000   # smoke-test scale
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,9 +17,21 @@ import (
 )
 
 func main() {
+	var (
+		warmup  = flag.Uint64("warmup", 0, "warmup accesses (0 = QuickParams default)")
+		measure = flag.Uint64("n", 0, "measured accesses (0 = QuickParams default)")
+	)
+	flag.Parse()
 	graphs := []string{"cc", "sssp", "Triangle", "KCore", "pr", "graph500", "bfs", "bc", "mis"}
 
 	params := deadpred.QuickParams()
+	if *warmup != 0 {
+		params.Warmup = *warmup
+	}
+	if *measure != 0 {
+		params.Measure = *measure
+		params.SampleEvery = *measure / 40
+	}
 	r := exp.NewRunner(params)
 	r.ProgressStart = func(w, s string) { fmt.Printf("  … %s under %s\n", w, s) }
 

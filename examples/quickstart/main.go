@@ -2,9 +2,11 @@
 // memory-intensive workload and compare against the unmodified baseline.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -warmup 10000 -n 40000   # smoke-test scale
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,10 +14,13 @@ import (
 )
 
 func main() {
+	var (
+		warmup  = flag.Uint64("warmup", 300_000, "warmup accesses before measurement")
+		measure = flag.Uint64("n", 1_000_000, "measured accesses")
+	)
+	flag.Parse()
 	const (
 		workload = "cactusADM"
-		warmup   = 300_000
-		measure  = 1_000_000
 		seed     = 1
 	)
 
@@ -25,13 +30,13 @@ func main() {
 	}
 
 	// Baseline: the Table I machine with plain LRU everywhere.
-	base, err := runOnce(w, seed, warmup, measure, false)
+	base, err := runOnce(w, seed, *warmup, *measure, false)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The proposal: dpPred guiding the LLT, cbPred guiding the LLC.
-	prop, err := runOnce(w, seed, warmup, measure, true)
+	prop, err := runOnce(w, seed, *warmup, *measure, true)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,9 +4,11 @@
 // with cmd/tracedump as a template).
 //
 //	go run ./examples/replaytrace
+//	go run ./examples/replaytrace -n 20000   # smoke-test scale
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -16,7 +18,9 @@ import (
 )
 
 func main() {
-	const n = 400_000
+	nFlag := flag.Uint64("n", 400_000, "accesses to record (first quarter warms, next half measures)")
+	flag.Parse()
+	n := *nFlag
 	w, err := deadpred.WorkloadByName("graph500")
 	if err != nil {
 		log.Fatal(err)

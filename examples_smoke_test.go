@@ -1,0 +1,40 @@
+package deadpred_test
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesSmoke runs every example program at tiny trace lengths so a
+// refactor that breaks the public API surface the examples exercise fails
+// `go test ./...` instead of rotting silently. The test's working
+// directory is the module root (the package directory), which is exactly
+// what `go run ./examples/...` needs.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test builds five binaries; skipped in -short")
+	}
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"quickstart", []string{"run", "./examples/quickstart", "-warmup", "2000", "-n", "8000"}},
+		{"customtrace", []string{"run", "./examples/customtrace", "-warmup", "2000", "-n", "8000"}},
+		{"replaytrace", []string{"run", "./examples/replaytrace", "-n", "8000"}},
+		{"characterize", []string{"run", "./examples/characterize", "-warmup", "2000", "-n", "8000", "pr"}},
+		{"graphsweep", []string{"run", "./examples/graphsweep", "-warmup", "2000", "-n", "8000"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", tc.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go %v: %v\n%s", tc.args, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("go %v: ran but produced no output", tc.args)
+			}
+		})
+	}
+}

@@ -8,51 +8,48 @@
 // validity it carries the metadata the paper's predictors need — the
 // Accessed bit and DP bit of §V, the PC-hash/signature state of the SHiP
 // and AIP baselines — plus fill/last-hit timestamps for the §IV dead-entry
-// characterization. Keeping the metadata in one flat struct keeps the
-// simulator allocation-free on the access path.
+// characterization.
+//
+// Storage layout (hot path). All per-entry state lives in flat, fixed-stride
+// arrays indexed by set*ways+way: the Block payloads in one slice, and a
+// separate compact tag array so a lookup scans 8 bytes per way instead of a
+// full Block. Per-set packed bit words hold the valid and dead-mark bits, so
+// "any invalid way?" and "any dead-marked way?" are single-word tests during
+// a fill instead of a scan. The default LRU policy is inlined over the same
+// flat layout (per-way stamps plus a per-set clock), so a fully-warm access
+// performs no interface-method calls and no heap allocations.
 package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/policy"
 )
 
 // Block is one entry of a set-associative structure, including all
-// predictor-visible metadata.
+// predictor-visible metadata. Fields are ordered widest-first so one entry
+// packs into a single 64-byte line.
 type Block struct {
-	// Valid reports whether the entry holds a live translation/block.
-	Valid bool
 	// Key identifies the entry: physical block number for caches,
 	// virtual page number for TLBs.
 	Key uint64
 	// Data is payload carried with the entry (the PFN for TLB entries);
 	// data caches leave it zero.
 	Data uint64
-	// Dirty marks blocks modified since fill.
-	Dirty bool
 
-	// Accessed is the paper's per-entry Accessed bit: set on the first
-	// hit after fill, examined at eviction to detect dead-on-arrival
-	// entries (§V-A, §V-B).
-	Accessed bool
-	// DP is cbPred's dead-page bit: the block was filled while its frame
-	// was in the PFN filter queue (§V-B).
-	DP bool
-	// DeadMark flags entries a predictor (AIP) considers dead; the
-	// victim selector prefers them over the policy's choice.
-	DeadMark bool
-	// Prefetched marks entries installed speculatively by a TLB
-	// prefetcher; they do not train the dead-entry predictors.
-	Prefetched bool
+	// FillTime, LastHitTime and Hits support the §IV dead/live
+	// classification: times are supplied by the caller (simulated
+	// cycles), Hits counts hits this generation.
+	FillTime    uint64
+	LastHitTime uint64
+	Hits        uint64
 
 	// PCHash is dpPred's per-TLB-entry hash of the PC that triggered the
 	// fill (6 bits by default, §V-A).
 	PCHash uint16
 	// Sig is the SHiP signature stored with the entry.
 	Sig uint16
-	// Outcome is SHiP's per-entry reuse bit.
-	Outcome bool
 
 	// AIPCount is the AIP event counter (accesses to the set since this
 	// entry was last touched). The AIP predictor resets it on hits.
@@ -62,15 +59,25 @@ type Block struct {
 	// AIPThreshold is the death threshold loaded from AIP's prediction
 	// table at fill time.
 	AIPThreshold uint16
+
+	// Valid reports whether the entry holds a live translation/block.
+	Valid bool
+	// Dirty marks blocks modified since fill.
+	Dirty bool
+	// Accessed is the paper's per-entry Accessed bit: set on the first
+	// hit after fill, examined at eviction to detect dead-on-arrival
+	// entries (§V-A, §V-B).
+	Accessed bool
+	// DP is cbPred's dead-page bit: the block was filled while its frame
+	// was in the PFN filter queue (§V-B).
+	DP bool
+	// Prefetched marks entries installed speculatively by a TLB
+	// prefetcher; they do not train the dead-entry predictors.
+	Prefetched bool
+	// Outcome is SHiP's per-entry reuse bit.
+	Outcome bool
 	// AIPConf is the confidence bit loaded with AIPThreshold.
 	AIPConf bool
-
-	// FillTime, LastHitTime and Hits support the §IV dead/live
-	// classification: times are supplied by the caller (simulated
-	// cycles), Hits counts hits this generation.
-	FillTime    uint64
-	LastHitTime uint64
-	Hits        uint64
 }
 
 // Config sizes a cache.
@@ -79,7 +86,8 @@ type Config struct {
 	Name string
 	// Sets is the number of sets; must be ≥ 1.
 	Sets int
-	// Ways is the associativity; must be ≥ 1.
+	// Ways is the associativity; must be in [1, 64] (the valid and
+	// dead-mark bits of a set are packed into single words).
 	Ways int
 	// Policy chooses victims within a set; nil means LRU.
 	Policy policy.Policy
@@ -87,11 +95,33 @@ type Config struct {
 
 // Cache is a set-associative lookup structure.
 type Cache struct {
-	name   string
-	sets   int
-	ways   int
-	blocks [][]Block    // [set][way]
-	repl   []policy.Set // [set]
+	name string
+	sets int
+	ways int
+
+	// setMask is sets-1 when sets is a power of two (the common case);
+	// pow2 selects between the masked and modulo index paths.
+	setMask uint64
+	pow2    bool
+	// fullMask has the low `ways` bits set: a set whose live word equals
+	// it has no invalid way.
+	fullMask uint64
+
+	// Flat per-entry arrays, indexed by set*ways+way.
+	tags   []uint64 // entry keys, scanned on lookup
+	blocks []Block  // full metadata payloads
+
+	// Packed per-set bit words (bit w = way w).
+	live []uint64 // valid bits
+	dead []uint64 // dead-mark bits (see MarkDead)
+
+	// Inlined LRU state (non-nil exactly when the policy is LRU):
+	// per-way use stamps plus a per-set clock, flat like the entries.
+	lruStamp []uint64
+	lruClock []uint64
+	// repl holds per-set policy state for non-LRU policies (nil when the
+	// LRU fast path is active).
+	repl []policy.Set
 
 	// Statistics maintained by the structure itself.
 	lookups   uint64
@@ -107,23 +137,53 @@ func New(cfg Config) (*Cache, error) {
 		return nil, fmt.Errorf("cache %q: need sets ≥ 1 and ways ≥ 1, got %d×%d",
 			cfg.Name, cfg.Sets, cfg.Ways)
 	}
+	if cfg.Ways > 64 {
+		return nil, fmt.Errorf("cache %q: ways %d exceeds the 64-way packing limit",
+			cfg.Name, cfg.Ways)
+	}
 	pol := cfg.Policy
 	if pol == nil {
 		pol = policy.LRU{}
 	}
 	c := &Cache{
-		name:   cfg.Name,
-		sets:   cfg.Sets,
-		ways:   cfg.Ways,
-		blocks: make([][]Block, cfg.Sets),
-		repl:   make([]policy.Set, cfg.Sets),
+		name:     cfg.Name,
+		sets:     cfg.Sets,
+		ways:     cfg.Ways,
+		setMask:  uint64(cfg.Sets - 1),
+		pow2:     cfg.Sets&(cfg.Sets-1) == 0,
+		fullMask: fullWays(cfg.Ways),
+		tags:     make([]uint64, cfg.Sets*cfg.Ways),
+		blocks:   make([]Block, cfg.Sets*cfg.Ways),
+		live:     make([]uint64, cfg.Sets),
+		dead:     make([]uint64, cfg.Sets),
 	}
-	backing := make([]Block, cfg.Sets*cfg.Ways)
+	if _, isLRU := pol.(policy.LRU); isLRU {
+		// Inline the default policy over flat arrays; state mirrors
+		// policy.LRU.NewSet exactly (distinct initial stamps, clock at
+		// ways) so victim choices are bit-identical.
+		c.lruStamp = make([]uint64, cfg.Sets*cfg.Ways)
+		c.lruClock = make([]uint64, cfg.Sets)
+		for s := 0; s < cfg.Sets; s++ {
+			for w := 0; w < cfg.Ways; w++ {
+				c.lruStamp[s*cfg.Ways+w] = uint64(w)
+			}
+			c.lruClock[s] = uint64(cfg.Ways)
+		}
+		return c, nil
+	}
+	c.repl = make([]policy.Set, cfg.Sets)
 	for s := 0; s < cfg.Sets; s++ {
-		c.blocks[s] = backing[s*cfg.Ways : (s+1)*cfg.Ways : (s+1)*cfg.Ways]
 		c.repl[s] = pol.NewSet(cfg.Ways)
 	}
 	return c, nil
+}
+
+// fullWays returns a word with the low n bits set (n ≤ 64).
+func fullWays(n int) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(n) - 1
 }
 
 // MustNew is New that panics on configuration errors; for tests and
@@ -149,38 +209,72 @@ func (c *Cache) Ways() int { return c.ways }
 func (c *Cache) Capacity() int { return c.sets * c.ways }
 
 // SetIndex maps a key to its set.
-func (c *Cache) SetIndex(key uint64) int { return int(key % uint64(c.sets)) }
+func (c *Cache) SetIndex(key uint64) int {
+	if c.pow2 {
+		return int(key & c.setMask)
+	}
+	return int(key % uint64(c.sets))
+}
 
 // Lookup probes the cache for the key at simulated time now. On a hit it
 // updates replacement state, sets the Accessed bit, bumps hit counters and
-// returns the resident block. On a miss it returns (nil, false).
+// returns the resident block. On a miss it returns (nil, false). A hit also
+// clears the way's dead-mark (a re-referenced entry is live again — the
+// revive AIP performs on every hit).
 func (c *Cache) Lookup(key uint64, now uint64) (*Block, bool) {
 	c.lookups++
 	set := c.SetIndex(key)
-	ways := c.blocks[set]
-	for w := range ways {
-		b := &ways[w]
-		if b.Valid && b.Key == key {
-			c.hits++
-			b.Accessed = true
-			b.Hits++
-			b.LastHitTime = now
-			c.repl[set].Touch(w)
-			return b, true
+	base := set * c.ways
+	tags := c.tags[base : base+c.ways]
+	if live := c.live[set]; live == c.fullMask {
+		// Full set (the warm steady state): every tag is backed by a
+		// valid entry, so the scan is pure 8-byte compares.
+		for w := range tags {
+			if tags[w] == key {
+				return c.hit(set, base, w, now), true
+			}
+		}
+		return nil, false
+	} else {
+		for w := range tags {
+			if tags[w] == key && live>>uint(w)&1 != 0 {
+				return c.hit(set, base, w, now), true
+			}
 		}
 	}
 	return nil, false
+}
+
+// hit applies the hit-path side effects for the entry at (set, way).
+func (c *Cache) hit(set, base, w int, now uint64) *Block {
+	c.hits++
+	b := &c.blocks[base+w]
+	b.Accessed = true
+	b.Hits++
+	b.LastHitTime = now
+	if d := c.dead[set]; d != 0 {
+		c.dead[set] = d &^ (1 << uint(w))
+	}
+	if c.lruStamp != nil {
+		clk := c.lruClock[set] + 1
+		c.lruClock[set] = clk
+		c.lruStamp[base+w] = clk
+	} else {
+		c.repl[set].Touch(w)
+	}
+	return b
 }
 
 // Probe checks residency without touching replacement state, the Accessed
 // bit or statistics. Mirror structures and tests use it.
 func (c *Cache) Probe(key uint64) (*Block, bool) {
 	set := c.SetIndex(key)
-	ways := c.blocks[set]
-	for w := range ways {
-		b := &ways[w]
-		if b.Valid && b.Key == key {
-			return b, true
+	base := set * c.ways
+	tags := c.tags[base : base+c.ways]
+	live := c.live[set]
+	for w := range tags {
+		if tags[w] == key && live>>uint(w)&1 != 0 {
+			return &c.blocks[base+w], true
 		}
 	}
 	return nil, false
@@ -191,16 +285,37 @@ func (c *Cache) Probe(key uint64) (*Block, bool) {
 // the fill (no eviction).
 func (c *Cache) Victim(key uint64) (Block, bool) {
 	set := c.SetIndex(key)
-	ways := c.blocks[set]
-	for w := range ways {
-		if !ways[w].Valid {
-			return Block{}, false
+	if c.live[set] != c.fullMask {
+		return Block{}, false
+	}
+	return c.blocks[set*c.ways+c.victimWay(set)], true
+}
+
+// victimWay picks the way a fill into a full set replaces: the policy's
+// victim if it is dead-marked (or no way is), otherwise the first
+// dead-marked way.
+func (c *Cache) victimWay(set int) int {
+	pv := c.policyVictim(set)
+	if d := c.dead[set]; d != 0 && d>>uint(pv)&1 == 0 {
+		return bits.TrailingZeros64(d)
+	}
+	return pv
+}
+
+// policyVictim returns the replacement policy's victim for the set.
+func (c *Cache) policyVictim(set int) int {
+	if c.lruStamp == nil {
+		return c.repl[set].Victim()
+	}
+	base := set * c.ways
+	stamps := c.lruStamp[base : base+c.ways]
+	v, min := 0, stamps[0]
+	for w := 1; w < len(stamps); w++ {
+		if s := stamps[w]; s < min {
+			v, min = w, s
 		}
 	}
-	if w, ok := c.deadMarked(set); ok {
-		return ways[w], true
-	}
-	return ways[c.repl[set].Victim()], true
+	return v
 }
 
 // Fill allocates an entry for the key, evicting if necessary, and returns
@@ -210,46 +325,98 @@ func (c *Cache) Victim(key uint64) (Block, bool) {
 func (c *Cache) Fill(key uint64, hint policy.InsertHint, now uint64) (nb *Block, victim Block, evicted bool) {
 	c.fills++
 	set := c.SetIndex(key)
-	ways := c.blocks[set]
-	way := -1
-	for w := range ways {
-		if !ways[w].Valid {
-			way = w
-			break
-		}
-	}
-	if way < 0 {
-		if w, ok := c.deadMarked(set); ok {
-			way = w
-		} else {
-			way = c.repl[set].Victim()
-		}
-		victim = ways[way]
+	base := set * c.ways
+	var way int
+	if live := c.live[set]; live != c.fullMask {
+		way = bits.TrailingZeros64(^live & c.fullMask)
+	} else {
+		way = c.victimWay(set)
+		victim = c.blocks[base+way]
 		evicted = true
 		c.evictions++
 	}
-	ways[way] = Block{
+	c.blocks[base+way] = Block{
 		Valid:    true,
 		Key:      key,
 		FillTime: now,
 	}
-	c.repl[set].Insert(way, hint)
-	return &ways[way], victim, evicted
+	c.tags[base+way] = key
+	c.live[set] |= 1 << uint(way)
+	if d := c.dead[set]; d != 0 {
+		c.dead[set] = d &^ (1 << uint(way))
+	}
+	if c.lruStamp != nil {
+		c.lruInsert(set, way, hint)
+	} else {
+		c.repl[set].Insert(way, hint)
+	}
+	return &c.blocks[base+way], victim, evicted
 }
 
-// deadMarked returns a way whose block carries DeadMark, preferring the
-// replacement policy's own victim when that block is also dead-marked.
-func (c *Cache) deadMarked(set int) (int, bool) {
-	pv := c.repl[set].Victim()
-	if c.blocks[set][pv].DeadMark {
-		return pv, true
+// lruInsert is the inlined equivalent of policy.LRU's Insert: MRU insertion
+// bumps the clock; distant insertion stamps the way older than everything
+// resident (shifting stamps up when zero is already taken).
+func (c *Cache) lruInsert(set, way int, hint policy.InsertHint) {
+	base := set * c.ways
+	if hint == policy.InsertDistant {
+		stamps := c.lruStamp[base : base+c.ways]
+		min := stamps[0]
+		for _, st := range stamps[1:] {
+			if st < min {
+				min = st
+			}
+		}
+		if min == 0 {
+			for i := range stamps {
+				stamps[i]++
+			}
+			c.lruClock[set]++
+			min = 1
+		}
+		stamps[way] = min - 1
+		return
 	}
-	for w := range c.blocks[set] {
-		if c.blocks[set][w].DeadMark {
-			return w, true
+	clk := c.lruClock[set] + 1
+	c.lruClock[set] = clk
+	c.lruStamp[base+way] = clk
+}
+
+// MarkDead flags the resident entry at the given way of key's set as a
+// preferred victim (AIP's dead-block marking). The mark clears when the
+// entry is hit, refilled or invalidated.
+func (c *Cache) MarkDead(key uint64, way int) {
+	set := c.SetIndex(key)
+	if way < 0 || way >= c.ways || c.live[set]>>uint(way)&1 == 0 {
+		return
+	}
+	c.dead[set] |= 1 << uint(way)
+}
+
+// MarkDeadKey locates key's resident entry and dead-marks it, reporting
+// whether the key was resident. Tests and coarse-grained callers use it;
+// per-way callers on the access path use MarkDead.
+func (c *Cache) MarkDeadKey(key uint64) bool {
+	set := c.SetIndex(key)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == key && c.live[set]>>uint(w)&1 != 0 {
+			c.dead[set] |= 1 << uint(w)
+			return true
 		}
 	}
-	return 0, false
+	return false
+}
+
+// DeadMarked reports whether key's resident entry carries a dead-mark.
+func (c *Cache) DeadMarked(key uint64) bool {
+	set := c.SetIndex(key)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == key && c.live[set]>>uint(w)&1 != 0 {
+			return c.dead[set]>>uint(w)&1 != 0
+		}
+	}
+	return false
 }
 
 // RecordBypass counts a fill that a predictor suppressed.
@@ -259,12 +426,20 @@ func (c *Cache) RecordBypass() { c.bypasses++ }
 // block. Used for inclusive-LLC back-invalidation.
 func (c *Cache) Invalidate(key uint64) (Block, bool) {
 	set := c.SetIndex(key)
-	ways := c.blocks[set]
-	for w := range ways {
-		if ways[w].Valid && ways[w].Key == key {
-			old := ways[w]
-			ways[w] = Block{}
-			c.repl[set].Invalidate(w)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == key && c.live[set]>>uint(w)&1 != 0 {
+			old := c.blocks[base+w]
+			c.blocks[base+w] = Block{}
+			c.tags[base+w] = 0
+			c.live[set] &^= 1 << uint(w)
+			c.dead[set] &^= 1 << uint(w)
+			if c.lruStamp != nil {
+				// An invalidated way becomes the best victim.
+				c.lruStamp[base+w] = 0
+			} else {
+				c.repl[set].Invalidate(w)
+			}
 			return old, true
 		}
 	}
@@ -275,20 +450,20 @@ func (c *Cache) Invalidate(key uint64) (Block, bool) {
 // Predictors with per-set bookkeeping (AIP) use it on the access path.
 func (c *Cache) ForEachInSet(key uint64, fn func(way int, b *Block)) {
 	set := c.SetIndex(key)
-	for w := range c.blocks[set] {
-		if c.blocks[set][w].Valid {
-			fn(w, &c.blocks[set][w])
-		}
+	base := set * c.ways
+	for m := c.live[set]; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		fn(w, &c.blocks[base+w])
 	}
 }
 
 // ForEach visits every valid block. Samplers use it to snapshot residency.
 func (c *Cache) ForEach(fn func(set, way int, b *Block)) {
-	for s := range c.blocks {
-		for w := range c.blocks[s] {
-			if c.blocks[s][w].Valid {
-				fn(s, w, &c.blocks[s][w])
-			}
+	for s := 0; s < c.sets; s++ {
+		base := s * c.ways
+		for m := c.live[s]; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			fn(s, w, &c.blocks[base+w])
 		}
 	}
 }
@@ -298,9 +473,11 @@ func (c *Cache) ForEach(fn func(set, way int, b *Block)) {
 // AIPCount+1 (saturating).
 func (c *Cache) BumpSetCounters(key uint64) {
 	set := c.SetIndex(key)
-	for w := range c.blocks[set] {
-		b := &c.blocks[set][w]
-		if b.Valid && b.Key != key && b.AIPCount < ^uint16(0) {
+	base := set * c.ways
+	for m := c.live[set]; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		b := &c.blocks[base+w]
+		if b.Key != key && b.AIPCount < ^uint16(0) {
 			b.AIPCount++
 		}
 	}

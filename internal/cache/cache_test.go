@@ -99,8 +99,12 @@ func TestDeadMarkPriority(t *testing.T) {
 	for k := uint64(1); k <= 4; k++ {
 		c.Fill(k, policy.InsertMRU, 0)
 	}
-	b, _ := c.Probe(3)
-	b.DeadMark = true
+	if !c.MarkDeadKey(3) {
+		t.Fatal("MarkDeadKey(3) reported non-resident")
+	}
+	if !c.DeadMarked(3) {
+		t.Fatal("DeadMarked(3) false after MarkDeadKey")
+	}
 	c.Lookup(1, 1) // make 1 MRU; LRU victim would be 2
 	_, victim, ev := c.Fill(5, policy.InsertMRU, 2)
 	if !ev || victim.Key != 3 {
@@ -108,14 +112,38 @@ func TestDeadMarkPriority(t *testing.T) {
 	}
 }
 
+func TestDeadMarkClearedOnHit(t *testing.T) {
+	c := mk(t, 1, 2)
+	c.Fill(1, policy.InsertMRU, 0)
+	c.MarkDeadKey(1)
+	if _, ok := c.Lookup(1, 1); !ok {
+		t.Fatal("miss on resident key")
+	}
+	if c.DeadMarked(1) {
+		t.Error("hit did not revive the dead-marked entry")
+	}
+}
+
+func TestMarkDeadIgnoresInvalidWay(t *testing.T) {
+	c := mk(t, 1, 2)
+	c.Fill(1, policy.InsertMRU, 0)
+	c.MarkDead(1, 1)  // way 1 is invalid
+	c.MarkDead(1, -1) // out of range
+	c.MarkDead(1, 7)  // out of range
+	if c.DeadMarked(1) {
+		t.Error("invalid-way MarkDead leaked onto a resident entry")
+	}
+	if c.MarkDeadKey(99) {
+		t.Error("MarkDeadKey on absent key reported resident")
+	}
+}
+
 func TestDeadMarkPrefersPolicyVictim(t *testing.T) {
 	c := mk(t, 1, 2)
 	c.Fill(1, policy.InsertMRU, 0)
 	c.Fill(2, policy.InsertMRU, 0)
-	b1, _ := c.Probe(1)
-	b1.DeadMark = true
-	b2, _ := c.Probe(2)
-	b2.DeadMark = true
+	c.MarkDeadKey(1)
+	c.MarkDeadKey(2)
 	// Policy victim is 1 (LRU); with both dead-marked, pick the policy's.
 	_, victim, _ := c.Fill(3, policy.InsertMRU, 1)
 	if victim.Key != 1 {
@@ -286,5 +314,23 @@ func TestSRRIPPolicyIntegration(t *testing.T) {
 	_, victim, ev := c.Fill(3, policy.InsertMRU, 2)
 	if !ev || victim.Key != 2 {
 		t.Errorf("victim = %+v, want key 2 under SRRIP", victim)
+	}
+}
+
+// BenchmarkLLCFill measures a fill into a full LLC-geometry cache (2048
+// sets, 16 ways): LRU victim scan, eviction and block install.
+func BenchmarkLLCFill(b *testing.B) {
+	c, err := New(Config{Name: "LLC", Sets: 2048, Ways: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := c.Sets() * c.Ways()
+	for i := 0; i < warm; i++ {
+		c.Fill(uint64(i), policy.InsertMRU, uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fill(uint64(warm+i), policy.InsertMRU, uint64(warm+i))
 	}
 }

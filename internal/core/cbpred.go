@@ -109,6 +109,12 @@ type CBPred struct {
 	// coupling the simulator cannot observe from outside).
 	tr *obs.Tracer
 
+	// One-entry bHIST index memo (see DPPred's hash memos): a fill and
+	// the eviction training that follows frequently name the same block.
+	// Zero values are self-consistent: Fold(0)=0.
+	lastBlock uint64
+	lastHash  int
+
 	stats CBPredStats
 }
 
@@ -150,7 +156,12 @@ func (p *CBPred) NotifyDOAPage(f arch.PFN) {
 }
 
 func (p *CBPred) hash(blockNum uint64) int {
-	return int(xhash.BlockAddr(blockNum, p.cfg.BHISTBits))
+	if blockNum == p.lastBlock {
+		return p.lastHash
+	}
+	h := int(xhash.BlockAddr(blockNum, p.cfg.BHISTBits))
+	p.lastBlock, p.lastHash = blockNum, h
+	return h
 }
 
 // frameOf recovers the physical frame from a block number.

@@ -79,6 +79,15 @@ type DPPred struct {
 	// hook point the simulator cannot observe from outside).
 	tr *obs.Tracer
 
+	// One-entry hash memos: an LLT miss consults the predictor several
+	// times with the same PC/VPN (OnMiss, then OnFill, then often an
+	// eviction for a neighbouring page), so the last hash is reused
+	// instead of re-folding. Zero values are self-consistent: Fold(0)=0.
+	lastPC      uint64
+	lastPCHash  uint16
+	lastVPN     uint64
+	lastVPNHash int
+
 	stats DPPredStats
 }
 
@@ -120,14 +129,24 @@ func (p *DPPred) SetDOAPageListener(fn func(arch.PFN)) { p.onDOAPage = fn }
 func (p *DPPred) Name() string { return "dpPred" }
 
 func (p *DPPred) pcHash(pc uint64) uint16 {
-	return uint16(xhash.PC(pc, p.cfg.PCBits))
+	if pc == p.lastPC {
+		return p.lastPCHash
+	}
+	h := uint16(xhash.PC(pc, p.cfg.PCBits))
+	p.lastPC, p.lastPCHash = pc, h
+	return h
 }
 
 func (p *DPPred) vpnHash(vpn arch.VPN) int {
 	if p.cfg.VPNBits == 0 {
 		return 0
 	}
-	return int(xhash.VPN(uint64(vpn), p.cfg.VPNBits))
+	if uint64(vpn) == p.lastVPN {
+		return p.lastVPNHash
+	}
+	h := int(xhash.VPN(uint64(vpn), p.cfg.VPNBits))
+	p.lastVPN, p.lastVPNHash = uint64(vpn), h
+	return h
 }
 
 // OnHit implements pred.TLBPredictor. The Accessed bit is maintained by the

@@ -42,6 +42,13 @@ func DefaultConfig() Config {
 type Core struct {
 	cfg Config
 
+	// Per-instruction increments, precomputed at construction so the
+	// per-step path avoids two divisions (identical float values: the
+	// divisions are performed once with the same operands).
+	dispatchStep float64 // 1/Width
+	retireStep   float64 // 1/RetireWidth
+	bulkRate     float64 // 1/min(Width, RetireWidth)
+
 	lastDispatch    float64
 	lastRetire      float64
 	lastMemComplete float64
@@ -58,7 +65,13 @@ func New(cfg Config) (*Core, error) {
 	if cfg.Width < 1 || cfg.RetireWidth < 1 || cfg.ROB < 1 {
 		return nil, fmt.Errorf("cpu: width/retire/ROB must be ≥ 1, got %+v", cfg)
 	}
-	return &Core{cfg: cfg, retireRing: make([]float64, cfg.ROB)}, nil
+	return &Core{
+		cfg:          cfg,
+		dispatchStep: 1 / float64(cfg.Width),
+		retireStep:   1 / float64(cfg.RetireWidth),
+		bulkRate:     1 / float64(minInt(cfg.Width, cfg.RetireWidth)),
+		retireRing:   make([]float64, cfg.ROB),
+	}, nil
 }
 
 // MustNew is New that panics on bad configuration.
@@ -78,7 +91,7 @@ func (c *Core) step(execLat, minIssue float64) float64 {
 	// ROB constraint: the slot being reused holds the retire time of
 	// the instruction ROB-size earlier.
 	robFree := c.retireRing[c.ringPos]
-	dispatch := c.lastDispatch + 1/float64(c.cfg.Width)
+	dispatch := c.lastDispatch + c.dispatchStep
 	if robFree > dispatch {
 		dispatch = robFree
 	}
@@ -89,7 +102,7 @@ func (c *Core) step(execLat, minIssue float64) float64 {
 		issue = minIssue
 	}
 	complete := issue + execLat
-	retire := c.lastRetire + 1/float64(c.cfg.RetireWidth)
+	retire := c.lastRetire + c.retireStep
 	if complete > retire {
 		retire = complete
 	}
@@ -111,8 +124,7 @@ func (c *Core) Advance(n uint64) {
 	limit := uint64(2 * c.cfg.ROB)
 	if n > limit {
 		bulk := n - limit
-		rate := 1 / float64(minInt(c.cfg.Width, c.cfg.RetireWidth))
-		shift := float64(bulk) * rate
+		shift := float64(bulk) * c.bulkRate
 		c.lastDispatch += shift
 		c.lastRetire += shift
 		for i := range c.retireRing {

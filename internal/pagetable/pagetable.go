@@ -124,6 +124,17 @@ type PageTable struct {
 	alloc *Allocator
 	root  *node
 
+	// Last-path memo: consecutive translations overwhelmingly share the
+	// interior radix path (everything above the PT level), so Translate
+	// caches the node frames and the leaf-level node of the most recent
+	// walk. Radix nodes are never freed or remapped, so the memo can only
+	// go stale by pointing at a path that does not exist yet — and it is
+	// only populated for paths that do.
+	memoKey   uint64 // vpn >> RadixIndexBits of the memoized path
+	memoValid bool
+	memoSteps [arch.RadixLevels - 1]Step // interior steps (indices fixed by memoKey)
+	memoLeaf  *node                      // PT-level node holding the leaves map
+
 	mappedPages uint64
 	tableNodes  uint64
 }
@@ -157,26 +168,20 @@ type Step struct {
 // this VPN — the walker truncates it according to its page-walk-cache hits.
 // The steps slice is appended to dst to let callers reuse storage.
 func (pt *PageTable) Translate(vpn arch.VPN, dst []Step) (arch.PFN, []Step, error) {
+	// Fast path: the interior radix path matches the previous walk's, so
+	// the memoized steps and leaf node stand in for three map lookups.
+	if pt.memoValid && uint64(vpn)>>arch.RadixIndexBits == pt.memoKey {
+		dst = append(dst, pt.memoSteps[:]...)
+		return pt.leafStep(pt.memoLeaf, vpn, dst)
+	}
+
 	n := pt.root
-	for level := 0; level < arch.RadixLevels; level++ {
+	for level := 0; level < arch.RadixLevels-1; level++ {
 		idx := vpn.RadixIndex(level)
 		dst = append(dst, Step{
 			Level:   level,
 			PTEAddr: n.frame.Addr() + arch.PAddr(idx*arch.PTESize),
 		})
-		if level == arch.RadixLevels-1 {
-			pfn, ok := n.leaves[idx]
-			if !ok {
-				var err error
-				pfn, err = pt.alloc.Alloc()
-				if err != nil {
-					return 0, dst, err
-				}
-				n.leaves[idx] = pfn
-				pt.mappedPages++
-			}
-			return pfn, dst, nil
-		}
 		child, ok := n.children[idx]
 		if !ok {
 			frame, err := pt.alloc.Alloc()
@@ -194,7 +199,34 @@ func (pt *PageTable) Translate(vpn arch.VPN, dst []Step) (arch.PFN, []Step, erro
 		}
 		n = child
 	}
-	panic("unreachable")
+	// Memoize the now-complete interior path (nodes are never freed, so
+	// the memo cannot dangle).
+	pt.memoKey = uint64(vpn) >> arch.RadixIndexBits
+	copy(pt.memoSteps[:], dst[len(dst)-(arch.RadixLevels-1):])
+	pt.memoLeaf = n
+	pt.memoValid = true
+	return pt.leafStep(n, vpn, dst)
+}
+
+// leafStep emits the PT-level step for vpn against the given leaf node and
+// resolves (allocating on first touch) the final translation.
+func (pt *PageTable) leafStep(n *node, vpn arch.VPN, dst []Step) (arch.PFN, []Step, error) {
+	idx := vpn.RadixIndex(arch.RadixLevels - 1)
+	dst = append(dst, Step{
+		Level:   arch.RadixLevels - 1,
+		PTEAddr: n.frame.Addr() + arch.PAddr(idx*arch.PTESize),
+	})
+	pfn, ok := n.leaves[idx]
+	if !ok {
+		var err error
+		pfn, err = pt.alloc.Alloc()
+		if err != nil {
+			return 0, dst, err
+		}
+		n.leaves[idx] = pfn
+		pt.mappedPages++
+	}
+	return pfn, dst, nil
 }
 
 // TranslateIfMapped returns the frame for vpn only if a mapping already

@@ -4,7 +4,7 @@
 // of accesses to a set that a block tolerates between two of its own
 // accesses; once a resident block's interval counter exceeds its learned
 // threshold with confidence, the block is declared dead and prioritized for
-// victimization (the DeadMark bit in internal/cache).
+// victimization (the dead-mark bit in internal/cache, set via MarkDead).
 //
 // As the paper observes (§VI-A), AIP targets *non-DOA* dead entries: a
 // block must first exhibit a stable access interval before AIP can predict
@@ -102,21 +102,21 @@ func (a *aip) index(pcHash uint16, key uint64) (int, int) {
 // accessed set and re-evaluates deadness.
 func (a *aip) OnAccess(key uint64) {
 	a.target.BumpSetCounters(key)
-	a.target.ForEachInSet(key, func(_ int, b *cache.Block) {
+	a.target.ForEachInSet(key, func(w int, b *cache.Block) {
 		if b.AIPConf && b.AIPCount > b.AIPThreshold {
-			b.DeadMark = true
+			a.target.MarkDead(key, w)
 		}
 	})
 }
 
-// onHit folds the observed interval into the generation maximum and
-// revives the block.
+// onHit folds the observed interval into the generation maximum and resets
+// the counter; the structure itself clears the dead-mark on every hit, so
+// the revive needs no action here.
 func (a *aip) onHit(b *cache.Block) {
 	if b.AIPCount > b.AIPMax {
 		b.AIPMax = b.AIPCount
 	}
 	b.AIPCount = 0
-	b.DeadMark = false
 }
 
 // onFill loads the learned threshold for the (PC, key) pair.

@@ -189,14 +189,15 @@ func TestAIPLearnsIntervalAndMarksDead(t *testing.T) {
 		a.OnAccess(other)
 		target.Lookup(other, uint64(3+i))
 	}
-	if !nb.DeadMark {
+	if !target.DeadMarked(key) {
 		t.Error("block not dead-marked after exceeding learned interval")
 	}
-	// A hit revives it.
+	// A hit revives it (the structure clears the mark, AIP resets the
+	// counter).
 	target.Lookup(key, 10)
 	a.OnHit(nb)
-	if nb.DeadMark || nb.AIPCount != 0 {
-		t.Errorf("hit did not revive: deadMark=%v count=%d", nb.DeadMark, nb.AIPCount)
+	if target.DeadMarked(key) || nb.AIPCount != 0 {
+		t.Errorf("hit did not revive: deadMark=%v count=%d", target.DeadMarked(key), nb.AIPCount)
 	}
 }
 
@@ -214,7 +215,7 @@ func TestAIPNoConfidenceNoMark(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		a.OnAccess(other)
 	}
-	if nb.DeadMark {
+	if target.DeadMarked(key) {
 		t.Error("dead-marked without confidence")
 	}
 }

@@ -84,7 +84,7 @@ func TestObserverDoesNotPerturbResult(t *testing.T) {
 // and the interval series carries the learning-curve signals.
 func TestObserverEventAndSampleContents(t *testing.T) {
 	o := &obs.Observer{
-		Tracer:   obs.NewTracer(1 << 16, obs.NullSink{}),
+		Tracer:   obs.NewTracer(1<<16, obs.NullSink{}),
 		Metrics:  obs.NewRegistry(),
 		Interval: obs.NewIntervalRecorder(10_000),
 	}
@@ -200,6 +200,25 @@ func BenchmarkStepObserverTracing(b *testing.B) {
 		Interval: obs.NewIntervalRecorder(10_000),
 	}
 	s.AttachObserver(o)
+	g := obsTestMix(b, 3)
+	if err := s.Run(g, 100_000); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(g.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepWarm measures the bare machine — no predictors attached —
+// stepping a fully-warm system. The delta against
+// BenchmarkStepObserverDisabled is the paper predictors' overhead.
+func BenchmarkStepWarm(b *testing.B) {
+	cfg := DefaultConfig()
+	s := MustNew(cfg)
 	g := obsTestMix(b, 3)
 	if err := s.Run(g, 100_000); err != nil {
 		b.Fatal(err)

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/cache"
+	"repro/internal/cpu"
 	"repro/internal/obs"
 	"repro/internal/pagetable"
 	"repro/internal/policy"
@@ -32,10 +33,24 @@ type System struct {
 	walk            *walker.Walker
 	l1d, l2, llc    *cache.Cache
 	core            coreModel
+	// cpuCore is the concrete core when the coreModel seam holds the real
+	// timing model (the production case); the hot path calls it directly
+	// so Advance/Memory/Cycles dispatch statically. nil when a test
+	// substitutes a different coreModel.
+	cpuCore *cpu.Core
 
 	tlbPred pred.TLBPredictor
 	llcPred pred.LLCPredictor
 	tlbPref pred.TLBPrefetcher
+
+	// Cached optional-interface views of the installed predictors,
+	// refreshed whenever a predictor is set. The hot path tests these
+	// nil-able fields instead of repeating type assertions per access.
+	tlbObs pred.AccessObserver
+	llcObs pred.AccessObserver
+	tlbFF  pred.FillFinisher
+	llcFF  pred.FillFinisher
+	llcDOA pred.DOAPageListener
 
 	prefFills  uint64
 	prefUseful uint64
@@ -68,6 +83,12 @@ type System struct {
 	// walkQueueCycles accumulates time walks spent waiting for the
 	// walker (reported for diagnostics).
 	walkQueueCycles uint64
+
+	// stepNow is the core cycle at the start of the current Step. The
+	// core's clock only moves in Advance (before the access) and Memory
+	// (after it), so every structure touched within one access sees the
+	// same timestamp; caching it avoids float→int conversions per probe.
+	stepNow uint64
 
 	// Measurement baseline (set by StartMeasurement).
 	base snapshot
@@ -130,6 +151,8 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s.core = core
+	s.cpuCore, _ = core.(*cpu.Core)
+	s.cachePredIfaces()
 	return s, nil
 }
 
@@ -148,6 +171,7 @@ func (s *System) SetTLBPredictor(p pred.TLBPredictor) {
 		p = pred.NullTLB{}
 	}
 	s.tlbPred = p
+	s.cachePredIfaces()
 	s.observePredictors()
 }
 
@@ -157,7 +181,18 @@ func (s *System) SetLLCPredictor(p pred.LLCPredictor) {
 		p = pred.NullLLC{}
 	}
 	s.llcPred = p
+	s.cachePredIfaces()
 	s.observePredictors()
+}
+
+// cachePredIfaces refreshes the optional-interface views of the installed
+// predictors (see the field comments).
+func (s *System) cachePredIfaces() {
+	s.tlbObs, _ = s.tlbPred.(pred.AccessObserver)
+	s.tlbFF, _ = s.tlbPred.(pred.FillFinisher)
+	s.llcObs, _ = s.llcPred.(pred.AccessObserver)
+	s.llcFF, _ = s.llcPred.(pred.FillFinisher)
+	s.llcDOA, _ = s.llcPred.(pred.DOAPageListener)
 }
 
 // SetTLBPrefetcher installs a TLB prefetcher (extension; nil disables).
@@ -219,8 +254,16 @@ func (s *System) now() uint64 { return uint64(s.core.Cycles()) }
 
 // Step feeds one trace record through the machine.
 func (s *System) Step(a trace.Access) error {
-	if a.Gap > 0 {
-		s.core.Advance(uint64(a.Gap))
+	if cc := s.cpuCore; cc != nil {
+		if a.Gap > 0 {
+			cc.Advance(uint64(a.Gap))
+		}
+		s.stepNow = uint64(cc.Cycles())
+	} else {
+		if a.Gap > 0 {
+			s.core.Advance(uint64(a.Gap))
+		}
+		s.stepNow = uint64(s.core.Cycles())
 	}
 	s.accesses++
 
@@ -241,7 +284,11 @@ func (s *System) Step(a trace.Access) error {
 	pa := arch.Translate(pfn, a.Addr)
 	memLat := s.memAccess(pa, a.PC, a.Write)
 
-	s.core.Memory(uint64(iLat)+uint64(dLat)+uint64(memLat), a.Dependent)
+	if cc := s.cpuCore; cc != nil {
+		cc.Memory(uint64(iLat)+uint64(dLat)+uint64(memLat), a.Dependent)
+	} else {
+		s.core.Memory(uint64(iLat)+uint64(dLat)+uint64(memLat), a.Dependent)
+	}
 
 	if s.lltSampler != nil && s.accesses%s.sampleEvery == 0 {
 		s.lltSampler.Sample(s.llt.Inner())
@@ -270,14 +317,14 @@ func (s *System) translate(vpn arch.VPN, pc uint64, instr bool) (arch.Lat, arch.
 	if instr {
 		l1 = s.itlb
 	}
-	now := s.now()
+	now := s.stepNow
 	if pfn, ok := l1.Lookup(vpn, now); ok {
 		return 0, pfn, nil
 	}
 
 	// Unified L2 TLB (LLT). AIP-style predictors observe every access.
-	if obs, ok := s.tlbPred.(pred.AccessObserver); ok {
-		obs.OnAccess(uint64(vpn))
+	if s.tlbObs != nil {
+		s.tlbObs.OnAccess(uint64(vpn))
 	}
 	if b, ok := s.llt.Inner().Lookup(uint64(vpn), now); ok {
 		if b.Prefetched {
@@ -337,8 +384,8 @@ func (s *System) translate(vpn arch.VPN, pc uint64, instr bool) (arch.Lat, arch.
 			s.tr.Emit(obs.Event{Kind: obs.EvLLTBypass, Key: uint64(vpn), Aux: uint64(res.PFN), PC: pc})
 		}
 		// Fig. 6b: announce the DOA page's frame to the LLC side.
-		if l, ok := s.llcPred.(pred.DOAPageListener); ok {
-			l.NotifyDOAPage(res.PFN)
+		if s.llcDOA != nil {
+			s.llcDOA.NotifyDOAPage(res.PFN)
 		}
 	} else {
 		s.lltFill(vpn, res.PFN, pc, d)
@@ -363,12 +410,12 @@ func (s *System) translate(vpn arch.VPN, pc uint64, instr bool) (arch.Lat, arch.
 			if !mapped {
 				continue
 			}
-			nb, victim, evicted := s.llt.Fill(cand, pfn, 0, policy.InsertMRU, s.now())
+			nb, victim, evicted := s.llt.Fill(cand, pfn, 0, policy.InsertMRU, s.stepNow)
 			nb.Prefetched = true
 			if evicted && !victim.Prefetched {
 				s.tlbPred.OnEvict(victim)
 				if s.lltSampler != nil {
-					s.lltSampler.OnEvict(victim, s.now())
+					s.lltSampler.OnEvict(victim, s.stepNow)
 				}
 			}
 			s.prefFills++
@@ -379,14 +426,14 @@ func (s *System) translate(vpn arch.VPN, pc uint64, instr bool) (arch.Lat, arch.
 
 // lltFill allocates an LLT entry and processes the resulting eviction.
 func (s *System) lltFill(vpn arch.VPN, pfn arch.PFN, pc uint64, d pred.Decision) {
-	now := s.now()
+	now := s.stepNow
 	if s.tr != nil {
 		s.tr.Emit(obs.Event{Kind: obs.EvLLTFill, Key: uint64(vpn), Aux: uint64(pfn), PC: pc})
 	}
 	nb, victim, evicted := s.llt.Fill(vpn, pfn, d.PCHash, d.Hint, now)
 	nb.Sig = d.Sig
-	if ff, ok := s.tlbPred.(pred.FillFinisher); ok {
-		ff.OnFillDone(nb)
+	if s.tlbFF != nil {
+		s.tlbFF.OnFillDone(nb)
 	}
 	if !evicted {
 		return
@@ -407,11 +454,10 @@ func (s *System) lltFill(vpn arch.VPN, pfn arch.PFN, pc uint64, d pred.Decision)
 
 // fillL1TLB installs a translation in an L1 TLB; L1 evictions are silent
 // (the translation is already in the LLT or was bypassed deliberately).
+// Callers reach it only after vpn missed in l1 this very access, so the
+// translation is never already resident and no residency probe is needed.
 func (s *System) fillL1TLB(l1 *tlb.TLB, vpn arch.VPN, pfn arch.PFN) {
-	if _, ok := l1.Probe(vpn); ok {
-		return
-	}
-	l1.Fill(vpn, pfn, 0, policy.InsertMRU, s.now())
+	l1.Fill(vpn, pfn, 0, policy.InsertMRU, s.stepNow)
 }
 
 // ptFetch is the walker's window into the data caches: PTE fetches are
@@ -428,7 +474,7 @@ const ptWalkerPC = 0x00FF_FF00
 // returns its latency. Fills propagate to all levels; LLC evictions
 // back-invalidate the inner levels (inclusive LLC).
 func (s *System) memAccess(pa arch.PAddr, pc uint64, write bool) arch.Lat {
-	now := s.now()
+	now := s.stepNow
 	key := uint64(pa.Block() >> arch.BlockShift)
 
 	if b, ok := s.l1d.Lookup(key, now); ok {
@@ -440,8 +486,8 @@ func (s *System) memAccess(pa arch.PAddr, pc uint64, write bool) arch.Lat {
 		return s.cfg.L2.Latency
 	}
 
-	if obs, ok := s.llcPred.(pred.AccessObserver); ok {
-		obs.OnAccess(key)
+	if s.llcObs != nil {
+		s.llcObs.OnAccess(key)
 	}
 	if b, ok := s.llc.Lookup(key, now); ok {
 		s.llcPred.OnHit(b)
@@ -471,8 +517,8 @@ func (s *System) memAccess(pa arch.PAddr, pc uint64, write bool) arch.Lat {
 		nb.DP = d.SetDP
 		nb.Sig = d.Sig
 		nb.PCHash = d.PCHash
-		if ff, ok := s.llcPred.(pred.FillFinisher); ok {
-			ff.OnFillDone(nb)
+		if s.llcFF != nil {
+			s.llcFF.OnFillDone(nb)
 		}
 		if evicted {
 			if s.tr != nil {
@@ -501,12 +547,10 @@ func blockFrame(blockNum uint64) arch.PFN {
 }
 
 // fillInner installs a block in an inner cache level; inner evictions are
-// silent (clean-eviction model).
+// silent (clean-eviction model). Every call site sits on a path where key
+// just missed in c (and nothing re-inserts it in between), so the block is
+// never already resident and no residency probe is needed.
 func (s *System) fillInner(c *cache.Cache, key uint64, write bool, now uint64) {
-	if b, ok := c.Probe(key); ok {
-		b.Dirty = b.Dirty || write
-		return
-	}
 	nb, _, _ := c.Fill(key, policy.InsertMRU, now)
 	nb.Dirty = write
 }

@@ -161,3 +161,23 @@ func TestStatsBalanceProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// BenchmarkLLTLookup measures a warm hit in an LLT-geometry TLB (1024
+// entries, 8-way): the tag scan, Accessed-bit update and LRU touch.
+func BenchmarkLLTLookup(b *testing.B) {
+	tb, err := New(Config{Name: "LLT", Entries: 1024, Ways: 8, Latency: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 1024
+	for i := 0; i < n; i++ {
+		tb.Fill(arch.VPN(i), arch.PFN(i+7), 0, policy.InsertMRU, uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tb.Lookup(arch.VPN(i&(n-1)), uint64(i)); !ok {
+			b.Fatal("warm lookup missed")
+		}
+	}
+}

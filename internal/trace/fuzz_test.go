@@ -35,11 +35,11 @@ func FuzzReplayer(f *testing.F) {
 		f.Add(seed[:len(seed)-5], true) // truncated mid-record
 	}
 	f.Add([]byte(nil), false)
-	f.Add([]byte("DPTR"), false)                                  // magic only
-	f.Add([]byte("DPTR\x01\x00\x00\x00\x00\x00"), true)           // empty name, no records
-	f.Add([]byte("DPTR\x02\x00\x00\x00\x00\x00"), false)          // unsupported version
-	f.Add([]byte("DPTR\x01\x00\x01\x00\x00\x00"), false)          // reserved header flags set
-	f.Add([]byte("DPTR\x01\x00\x00\x00\xff\xffshort"), false)     // name length beyond data
+	f.Add([]byte("DPTR"), false)                                                       // magic only
+	f.Add([]byte("DPTR\x01\x00\x00\x00\x00\x00"), true)                                // empty name, no records
+	f.Add([]byte("DPTR\x02\x00\x00\x00\x00\x00"), false)                               // unsupported version
+	f.Add([]byte("DPTR\x01\x00\x01\x00\x00\x00"), false)                               // reserved header flags set
+	f.Add([]byte("DPTR\x01\x00\x00\x00\xff\xffshort"), false)                          // name length beyond data
 	f.Add(append([]byte("DPTR\x01\x00\x00\x00\x02\x00cc"), make([]byte, 24)...), true) // one zero record
 
 	f.Fuzz(func(t *testing.T, data []byte, loop bool) {

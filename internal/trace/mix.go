@@ -126,9 +126,11 @@ type mixGen struct {
 	spec   MixSpec
 	r      *rng
 	totalW int
-	pos    []uint64   // per-stream element cursor
+	pos    []uint64   // per-stream running byte offset (pre-wrapped)
 	win    []uint64   // per-stream window base offset
 	sites  [][]uint64 // per-stream instruction-site PCs
+	elems  []uint64   // per-stream element count (Size/ElemSize), immutable
+	span   []uint64   // per-stream wrap length (elems*ElemSize), immutable
 	count  uint64
 }
 
@@ -145,10 +147,14 @@ func NewMix(spec MixSpec, seed uint64) (Generator, error) {
 		pos:   make([]uint64, len(spec.Streams)),
 		win:   make([]uint64, len(spec.Streams)),
 		sites: make([][]uint64, len(spec.Streams)),
+		elems: make([]uint64, len(spec.Streams)),
+		span:  make([]uint64, len(spec.Streams)),
 	}
 	for i, s := range spec.Streams {
 		g.totalW += s.Weight
 		g.sites[i] = makeSites(s.PC, s.PCCount)
+		g.elems[i] = s.Size / s.ElemSize
+		g.span[i] = g.elems[i] * s.ElemSize
 	}
 	return g, nil
 }
@@ -204,14 +210,22 @@ func (g *mixGen) Next() Access {
 
 	var off uint64
 	dependent := false
-	elems := g.spec.Streams[si].Size / s.ElemSize
+	elems := g.elems[si]
 	switch s.Pattern {
 	case Sequential:
-		off = (g.pos[si] * s.ElemSize) % g.regionSpan(s)
-		g.pos[si]++
+		// pos holds the current byte offset, already reduced mod span;
+		// the span is a whole number of elements, so the wrap is exact.
+		off = g.pos[si]
+		g.pos[si] += s.ElemSize
+		if g.pos[si] >= g.span[si] {
+			g.pos[si] = 0
+		}
 	case Strided:
-		off = (g.pos[si] * s.Stride) % g.regionSpan(s)
-		g.pos[si]++
+		off = g.pos[si]
+		g.pos[si] += s.Stride
+		for g.pos[si] >= g.span[si] {
+			g.pos[si] -= g.span[si]
+		}
 	case Random:
 		off = g.windowed(si, s, g.r.Uint64n(elems)*s.ElemSize)
 	case PointerChase:
@@ -260,18 +274,12 @@ func (g *mixGen) Next() Access {
 	}
 }
 
-// regionSpan returns the wrap length for walking patterns, rounded down to
-// a whole element.
-func (g *mixGen) regionSpan(s *StreamSpec) uint64 {
-	return s.Size / s.ElemSize * s.ElemSize
-}
-
 // windowed confines a random offset to the stream's current window.
 func (g *mixGen) windowed(si int, s *StreamSpec, off uint64) uint64 {
 	if s.WindowSize == 0 {
 		return off
 	}
-	return (g.win[si] + off%s.WindowSize) % g.regionSpan(s)
+	return (g.win[si] + off%s.WindowSize) % g.span[si]
 }
 
 // advanceWindows slides every windowed stream to its next phase.
@@ -279,7 +287,7 @@ func (g *mixGen) advanceWindows() {
 	for i := range g.spec.Streams {
 		s := &g.spec.Streams[i]
 		if s.WindowSize != 0 {
-			g.win[i] = (g.win[i] + s.WindowSize) % g.regionSpan(s)
+			g.win[i] = (g.win[i] + s.WindowSize) % g.span[i]
 		}
 	}
 }

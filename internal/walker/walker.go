@@ -141,6 +141,7 @@ func (w *Walker) Walk(vpn arch.VPN) (Result, error) {
 	// after consuming (RadixLevels-1-i) levels, i.e. a PWC1/PDE hit
 	// means only the leaf PTE (step index 3) remains.
 	firstStep := 0
+	hitLevel := -1
 	var pwcLat arch.Lat
 	for i := 0; i < PWCLevels; i++ {
 		if w.pwc[i] == nil {
@@ -150,6 +151,7 @@ func (w *Walker) Walk(vpn arch.VPN) (Result, error) {
 		if _, ok := w.pwc[i].Lookup(pwcKey(vpn, i), w.tick); ok {
 			w.stats.PWCHits[i]++
 			firstStep = arch.RadixLevels - 1 - i
+			hitLevel = i
 			break
 		}
 		if i == PWCLevels-1 {
@@ -173,9 +175,10 @@ func (w *Walker) Walk(vpn arch.VPN) (Result, error) {
 	w.stats.WalkCycles += uint64(total)
 
 	// Refill the PWCs for every interior level this walk resolved, so
-	// future walks in the same region skip deeper.
+	// future walks in the same region skip deeper. The level that just
+	// hit is known-resident; probing it again would be redundant.
 	for i := 0; i < PWCLevels; i++ {
-		if w.pwc[i] == nil {
+		if w.pwc[i] == nil || i == hitLevel {
 			continue
 		}
 		key := pwcKey(vpn, i)

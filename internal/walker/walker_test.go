@@ -212,3 +212,33 @@ func TestPWCHitDistributionSums(t *testing.T) {
 			st.PWCHits, st.FullWalks, total, st.Walks)
 	}
 }
+
+// BenchmarkWalk measures a warm page walk: all 512 pages share one PDE, so
+// every walk hits PWC1 and issues a single leaf PTE fetch.
+func BenchmarkWalk(b *testing.B) {
+	alloc, err := pagetable.NewAllocator(1<<20, pagetable.AllocSequential, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt, err := pagetable.New(alloc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := New(pt, DefaultConfig(), func(arch.PAddr) arch.Lat { return 4 })
+	if err != nil {
+		b.Fatal(err)
+	}
+	const pages = 512
+	for i := 0; i < pages; i++ {
+		if _, err := w.Walk(arch.VPN(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Walk(arch.VPN(i % pages)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

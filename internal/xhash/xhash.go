@@ -14,6 +14,16 @@ func Fold(v uint64, width uint) uint64 {
 		panic("xhash: Fold width out of range")
 	}
 	mask := uint64(1)<<width - 1
+	if width&(width-1) == 0 {
+		// Power-of-two widths admit a logarithmic fold: each halving
+		// XORs the upper half of the remaining value onto the lower,
+		// leaving the XOR of all width-sized subblocks in the low bits —
+		// the same result as the block-serial loop below.
+		for s := uint(32); s >= width; s >>= 1 {
+			v ^= v >> s
+		}
+		return v & mask
+	}
 	var h uint64
 	for v != 0 {
 		h ^= v & mask
