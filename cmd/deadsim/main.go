@@ -45,6 +45,9 @@ func run() error {
 		accuracy  = flag.Bool("accuracy", false, "grade predictions against mirror ground truth")
 		deadScan  = flag.Bool("characterize", false, "sample dead/DOA entry fractions (§IV)")
 
+		ckptOut = flag.String("checkpoint-out", "", "after warmup, write the machine's warm state to file, then measure as usual")
+		ckptIn  = flag.String("checkpoint-in", "", "restore warm state from file instead of running warmup")
+
 		traceOut   = flag.String("trace-out", "", "write hook-point event trace to file (JSONL; a .csv extension selects CSV)")
 		metricsOut = flag.String("metrics-out", "", "write interval time series and final metrics JSON to file")
 		interval   = flag.Uint64("interval", 50_000, "accesses between interval samples (used with -metrics-out)")
@@ -152,7 +155,18 @@ func run() error {
 
 	r := exp.NewRunner(exp.Params{Warmup: *warmup, Measure: *measure, Seed: *seed, SampleEvery: 20_000})
 	r.Observer = observer
-	res, err := r.Run(w, setup)
+	var res sim.Result
+	if *ckptOut != "" || *ckptIn != "" {
+		if observer != nil {
+			return fmt.Errorf("checkpoints cannot be combined with -trace-out/-metrics-out (observers span the whole run, including warmup)")
+		}
+		if setup.Oracle {
+			return fmt.Errorf("the oracle's two-pass protocol cannot be checkpointed")
+		}
+		res, err = runWithCheckpoint(r, w, setup, *ckptOut, *ckptIn, *seed, *warmup, *measure)
+	} else {
+		res, err = r.Run(w, setup)
+	}
 	if err != nil {
 		return err
 	}
@@ -212,4 +226,67 @@ func run() error {
 			res.Correlation.Percent())
 	}
 	return nil
+}
+
+// runWithCheckpoint drives the simulation directly (bypassing the runner's
+// memo) so the warm state can be written to or restored from a checkpoint
+// file. A restored run fast-forwards its generator by the checkpoint's
+// consumed-access count and is bit-identical to the cold run that produced
+// the checkpoint.
+func runWithCheckpoint(r *exp.Runner, w trace.Workload, setup exp.Setup, outPath, inPath string, seed, warmup, measure uint64) (sim.Result, error) {
+	s, err := r.BuildSystem(setup)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	g := w.New(seed)
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		meta, err := s.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("restoring %s: %w", inPath, err)
+		}
+		if meta.Workload != w.Name {
+			return sim.Result{}, fmt.Errorf("checkpoint %s was taken on workload %q, not %q", inPath, meta.Workload, w.Name)
+		}
+		// Splice the generator onto the stream position the checkpointed
+		// run had reached.
+		for i := uint64(0); i < meta.Accesses; i++ {
+			g.Next()
+		}
+		fmt.Fprintf(os.Stderr, "deadsim: restored %s (%d warm accesses)\n", inPath, meta.Accesses)
+	} else if err := s.Run(g, warmup); err != nil {
+		return sim.Result{}, err
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		werr := s.WriteCheckpoint(f, w.Name)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return sim.Result{}, fmt.Errorf("writing %s: %w", outPath, werr)
+		}
+		fmt.Fprintf(os.Stderr, "deadsim: wrote checkpoint %s\n", outPath)
+	}
+	if setup.Instrument.Accuracy {
+		if err := s.EnableAccuracyTracking(); err != nil {
+			return sim.Result{}, err
+		}
+	}
+	if setup.Instrument.Characterize {
+		s.EnableCharacterization(20_000)
+	}
+	s.StartMeasurement()
+	if err := s.Run(g, measure); err != nil {
+		return sim.Result{}, err
+	}
+	s.Finish()
+	return s.Result(), nil
 }

@@ -80,7 +80,7 @@ func run() error {
 		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulations (1 = sequential; output is identical either way)")
 		verbose    = flag.Bool("v", false, "print per-simulation progress with elapsed time")
 		traceOut   = flag.String("trace-out", "", "write hook-point event trace to file (JSONL; a .csv extension selects CSV)")
-		traceOld   = flag.String("trace", "", "deprecated alias for -trace-out")
+		traceOld   = flag.String("trace", "", "deprecated alias for -trace-out (removal planned for the release after next; use -trace-out)")
 		metricsOut = flag.String("metrics-out", "", "write interval time series and final metrics JSON to file")
 		interval   = flag.Uint64("interval", 50_000, "accesses between interval samples (used with -metrics-out)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to file")
@@ -89,12 +89,13 @@ func run() error {
 	flag.Parse()
 
 	// -trace was renamed -trace-out to stop colliding with deadsim's
-	// -trace, which names a replay INPUT. The old spelling still works.
+	// -trace, which names a replay INPUT. The old spelling still works but
+	// is on a removal timeline; scripts should migrate now.
 	if *traceOld != "" {
 		if *traceOut != "" {
 			return fmt.Errorf("-trace is a deprecated alias for -trace-out; set only one")
 		}
-		fmt.Fprintln(os.Stderr, "paperexp: -trace is deprecated; use -trace-out")
+		fmt.Fprintln(os.Stderr, "paperexp: WARNING: -trace is deprecated and will be removed in the release after next; use -trace-out (same semantics)")
 		*traceOut = *traceOld
 	}
 

@@ -8,12 +8,19 @@
 //	tracedump -workload cc -n 1000000 -o cc.dptr     # record
 //	tracedump -dump cc.dptr -n 20                    # peek at records
 //	tracedump -dump cc.dptr -csv > cc.csv            # export CSV
+//	tracedump -summary cc.dptr                       # whole-file statistics
+//
+// -summary accepts both trace formats (DPTR record streams and DPBF buffer
+// dumps, distinguished by magic) and reports per-PC-stream access counts,
+// the read/write ratio and the unique-VPN footprint over the entire file.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/trace"
 )
@@ -32,6 +39,7 @@ func run() error {
 		out      = flag.String("o", "", "output trace file (record mode)")
 		dump     = flag.String("dump", "", "trace file to inspect")
 		csv      = flag.Bool("csv", false, "dump as CSV instead of a summary")
+		summary  = flag.String("summary", "", "trace file (DPTR or DPBF) to summarize whole-file")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 	)
 	flag.Parse()
@@ -39,11 +47,13 @@ func run() error {
 	switch {
 	case *workload != "" && *out != "":
 		return record(*workload, *out, *n, *seed)
+	case *summary != "":
+		return summarize(*summary)
 	case *dump != "":
 		return inspect(*dump, *n, *csv)
 	default:
 		flag.Usage()
-		return fmt.Errorf("need either -workload with -o, or -dump")
+		return fmt.Errorf("need either -workload with -o, -dump, or -summary")
 	}
 }
 
@@ -57,7 +67,14 @@ func record(name, path string, n, seed uint64) error {
 		return err
 	}
 	defer f.Close()
-	if err := trace.Record(f, w.New(seed), n); err != nil {
+	if strings.HasSuffix(path, ".dpbf") {
+		// Struct-of-arrays buffer dump: the runner's materialized cache
+		// format, denser than the DPTR record stream.
+		_, err = trace.Materialize(w.New(seed), n).WriteTo(f)
+	} else {
+		err = trace.Record(f, w.New(seed), n)
+	}
+	if err != nil {
 		return err
 	}
 	if err := f.Close(); err != nil {
@@ -117,6 +134,73 @@ func inspect(path string, n uint64, csv bool) error {
 		fmt.Printf("summary over %d records: %d distinct pages, %.1f%% writes, %.1f%% dependent, mean gap %.2f\n",
 			n, len(pages), 100*float64(writes)/float64(n), 100*float64(deps)/float64(n),
 			float64(gaps)/float64(n))
+	}
+	return nil
+}
+
+// streamShift groups PCs into instruction streams for the summary: the
+// synthetic workloads lay each logical stream's PCs in its own 16 KiB
+// region, so PC>>14 recovers the stream identity (and gives a coarse but
+// stable grouping for externally recorded traces too).
+const streamShift = 14
+
+// summarize reads an entire trace file — either format — and prints
+// per-stream access counts, the read/write split and the unique-VPN
+// footprint.
+func summarize(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	b, err := trace.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	n := b.Len()
+	fmt.Printf("trace %q: %d accesses\n", b.Name(), n)
+	if n == 0 {
+		return nil
+	}
+
+	var writes uint64
+	streams := map[uint64]uint64{}
+	vpns := map[uint64]struct{}{}
+	for i := uint64(0); i < n; i++ {
+		a := b.At(i)
+		if a.Write {
+			writes++
+		}
+		streams[a.PC>>streamShift]++
+		vpns[uint64(a.Addr.Page())] = struct{}{}
+	}
+
+	reads := n - writes
+	ratio := "inf"
+	if writes > 0 {
+		ratio = fmt.Sprintf("%.2f", float64(reads)/float64(writes))
+	}
+	fmt.Printf("reads         %d (%.1f%%)\n", reads, 100*float64(reads)/float64(n))
+	fmt.Printf("writes        %d (%.1f%%)\n", writes, 100*float64(writes)/float64(n))
+	fmt.Printf("r/w ratio     %s\n", ratio)
+	fmt.Printf("unique VPNs   %d (%.1f MB footprint)\n", len(vpns),
+		float64(len(vpns))*4096/(1<<20))
+
+	ids := make([]uint64, 0, len(streams))
+	for id := range streams {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if streams[ids[i]] != streams[ids[j]] {
+			return streams[ids[i]] > streams[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	fmt.Printf("streams       %d (PC >> %d)\n", len(ids), streamShift)
+	for _, id := range ids {
+		c := streams[id]
+		fmt.Printf("  stream %#6x: %9d accesses (%5.1f%%)\n",
+			id, c, 100*float64(c)/float64(n))
 	}
 	return nil
 }

@@ -1,0 +1,57 @@
+package cache
+
+import "repro/internal/ckpt"
+
+// EncodeState serializes the cache's full mutable state — entries, packed
+// valid/dead bit words, inlined LRU state and statistics — for warm-state
+// checkpointing. Geometry is stamped so DecodeState can reject a checkpoint
+// taken under a different configuration. Non-LRU replacement state is not
+// serializable (policy sets are opaque); encoding such a cache latches an
+// error.
+func (c *Cache) EncodeState(w *ckpt.Writer) {
+	w.Mark("cache:" + c.name)
+	if c.lruStamp == nil {
+		w.Failf("cache %q: non-LRU replacement state cannot be checkpointed", c.name)
+		return
+	}
+	w.U64(uint64(c.sets))
+	w.U64(uint64(c.ways))
+	w.Binary(c.tags)
+	w.Binary(c.blocks)
+	w.Binary(c.live)
+	w.Binary(c.dead)
+	w.Binary(c.lruStamp)
+	w.Binary(c.lruClock)
+	w.U64(c.lookups)
+	w.U64(c.hits)
+	w.U64(c.fills)
+	w.U64(c.bypasses)
+	w.U64(c.evictions)
+}
+
+// DecodeState restores state written by EncodeState into a cache built with
+// the identical configuration.
+func (c *Cache) DecodeState(r *ckpt.Reader) error {
+	r.Expect("cache:" + c.name)
+	if c.lruStamp == nil {
+		r.Failf("cache %q: non-LRU replacement state cannot be checkpointed", c.name)
+		return r.Err()
+	}
+	if sets, ways := r.U64(), r.U64(); r.Err() == nil &&
+		(sets != uint64(c.sets) || ways != uint64(c.ways)) {
+		r.Failf("cache %q: checkpoint geometry %d×%d does not match configured %d×%d",
+			c.name, sets, ways, c.sets, c.ways)
+	}
+	r.Binary(c.tags)
+	r.Binary(c.blocks)
+	r.Binary(c.live)
+	r.Binary(c.dead)
+	r.Binary(c.lruStamp)
+	r.Binary(c.lruClock)
+	c.lookups = r.U64()
+	c.hits = r.U64()
+	c.fills = r.U64()
+	c.bypasses = r.U64()
+	c.evictions = r.U64()
+	return r.Err()
+}

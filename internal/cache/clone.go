@@ -1,0 +1,49 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+)
+
+// Clone returns a deep copy of the cache: contents, packed valid/dead bit
+// words, replacement state and statistics. The clone shares no mutable
+// state with the original, so both can be stepped independently — the
+// foundation of warm-state forking (one warmed structure, many consumers).
+//
+// Non-LRU replacement state must implement policy.SetCloner; otherwise the
+// clone would alias live per-set state and Clone fails loudly.
+func (c *Cache) Clone() (*Cache, error) {
+	n := &Cache{
+		name:      c.name,
+		sets:      c.sets,
+		ways:      c.ways,
+		setMask:   c.setMask,
+		pow2:      c.pow2,
+		fullMask:  c.fullMask,
+		tags:      append([]uint64(nil), c.tags...),
+		blocks:    append([]Block(nil), c.blocks...),
+		live:      append([]uint64(nil), c.live...),
+		dead:      append([]uint64(nil), c.dead...),
+		lookups:   c.lookups,
+		hits:      c.hits,
+		fills:     c.fills,
+		bypasses:  c.bypasses,
+		evictions: c.evictions,
+	}
+	if c.lruStamp != nil {
+		n.lruStamp = append([]uint64(nil), c.lruStamp...)
+		n.lruClock = append([]uint64(nil), c.lruClock...)
+		return n, nil
+	}
+	n.repl = make([]policy.Set, len(c.repl))
+	shared := make(map[any]any)
+	for i, s := range c.repl {
+		sc, ok := s.(policy.SetCloner)
+		if !ok {
+			return nil, fmt.Errorf("cache %q: replacement state %T is not cloneable", c.name, s)
+		}
+		n.repl[i] = sc.CloneSet(shared)
+	}
+	return n, nil
+}

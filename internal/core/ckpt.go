@@ -1,0 +1,100 @@
+package core
+
+import (
+	"repro/internal/arch"
+	"repro/internal/ckpt"
+)
+
+// EncodeState serializes dpPred's mutable state — the pHIST counters, the
+// shadow table and the activity counters — for warm-state checkpointing.
+// The one-entry hash memos are not stored: they are pure caches whose zero
+// values are self-consistent.
+func (p *DPPred) EncodeState(w *ckpt.Writer) {
+	w.Mark("dppred")
+	w.U64(uint64(len(p.phist)))
+	cols := 0
+	if len(p.phist) > 0 {
+		cols = len(p.phist[0])
+	}
+	w.U64(uint64(cols))
+	for _, row := range p.phist {
+		w.Binary(row)
+	}
+	w.U64(uint64(len(p.shadow.entries)))
+	for _, e := range p.shadow.entries {
+		w.Bool(e.valid)
+		w.U64(uint64(e.vpn))
+		w.U64(uint64(e.pfn))
+	}
+	w.U64(uint64(p.shadow.next))
+	w.Binary(&p.stats)
+}
+
+// DecodeState restores state written by EncodeState into a predictor built
+// with the identical configuration.
+func (p *DPPred) DecodeState(r *ckpt.Reader) error {
+	r.Expect("dppred")
+	cols := 0
+	if len(p.phist) > 0 {
+		cols = len(p.phist[0])
+	}
+	if rows, c := r.U64(), r.U64(); r.Err() == nil &&
+		(rows != uint64(len(p.phist)) || c != uint64(cols)) {
+		r.Failf("dppred: checkpoint pHIST %d×%d does not match configured %d×%d",
+			rows, c, len(p.phist), cols)
+	}
+	for _, row := range p.phist {
+		r.Binary(row)
+	}
+	if n := r.U64(); r.Err() == nil && n != uint64(len(p.shadow.entries)) {
+		r.Failf("dppred: checkpoint shadow table size %d does not match configured %d",
+			n, len(p.shadow.entries))
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	for i := range p.shadow.entries {
+		p.shadow.entries[i] = shadowEntry{
+			valid: r.Bool(),
+			vpn:   arch.VPN(r.U64()),
+			pfn:   arch.PFN(r.U64()),
+		}
+	}
+	p.shadow.next = int(r.U64())
+	r.Binary(&p.stats)
+	return r.Err()
+}
+
+// EncodeState serializes cbPred's mutable state — the bHIST counters, the
+// PFN filter queue and the activity counters — for warm-state checkpointing.
+func (p *CBPred) EncodeState(w *ckpt.Writer) {
+	w.Mark("cbpred")
+	w.U64(uint64(len(p.bhist)))
+	w.Binary(p.bhist)
+	w.U64(uint64(len(p.q.frames)))
+	w.Binary(p.q.frames)
+	w.Binary(p.q.valid)
+	w.U64(uint64(p.q.next))
+	w.Binary(&p.stats)
+}
+
+// DecodeState restores state written by EncodeState into a predictor built
+// with the identical configuration.
+func (p *CBPred) DecodeState(r *ckpt.Reader) error {
+	r.Expect("cbpred")
+	if n := r.U64(); r.Err() == nil && n != uint64(len(p.bhist)) {
+		r.Failf("cbpred: checkpoint bHIST size %d does not match configured %d", n, len(p.bhist))
+	}
+	r.Binary(p.bhist)
+	if n := r.U64(); r.Err() == nil && n != uint64(len(p.q.frames)) {
+		r.Failf("cbpred: checkpoint PFQ size %d does not match configured %d", n, len(p.q.frames))
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	r.Binary(p.q.frames)
+	r.Binary(p.q.valid)
+	p.q.next = int(r.U64())
+	r.Binary(&p.stats)
+	return r.Err()
+}

@@ -1,0 +1,41 @@
+package cpu
+
+import "repro/internal/ckpt"
+
+// EncodeState serializes the core's timing state for warm-state
+// checkpointing. The configuration is not stored — the restoring side builds
+// the core from the same flags — but the ring length is stamped to catch a
+// ROB mismatch.
+func (c *Core) EncodeState(w *ckpt.Writer) {
+	w.Mark("cpu")
+	w.U64(uint64(len(c.retireRing)))
+	w.F64(c.lastDispatch)
+	w.F64(c.lastRetire)
+	w.F64(c.lastMemComplete)
+	w.Binary(c.retireRing)
+	w.U64(uint64(c.ringPos))
+	w.U64(c.instructions)
+	w.U64(c.memOps)
+	w.U64(c.memLatSum)
+}
+
+// DecodeState restores state written by EncodeState into a core built with
+// the identical configuration.
+func (c *Core) DecodeState(r *ckpt.Reader) error {
+	r.Expect("cpu")
+	if n := r.U64(); r.Err() == nil && n != uint64(len(c.retireRing)) {
+		r.Failf("cpu: checkpoint ROB size %d does not match configured %d", n, len(c.retireRing))
+	}
+	c.lastDispatch = r.F64()
+	c.lastRetire = r.F64()
+	c.lastMemComplete = r.F64()
+	r.Binary(c.retireRing)
+	c.ringPos = int(r.U64())
+	c.instructions = r.U64()
+	c.memOps = r.U64()
+	c.memLatSum = r.U64()
+	if r.Err() == nil && (c.ringPos < 0 || c.ringPos >= len(c.retireRing)) {
+		r.Failf("cpu: checkpoint ring position %d out of range", c.ringPos)
+	}
+	return r.Err()
+}

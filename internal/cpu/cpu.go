@@ -83,6 +83,14 @@ func MustNew(cfg Config) *Core {
 	return c
 }
 
+// Clone deep-copies the core's timing state for warm-state forking: both
+// copies advance independently from the identical cycle position.
+func (c *Core) Clone() *Core {
+	n := *c
+	n.retireRing = append([]float64(nil), c.retireRing...)
+	return &n
+}
+
 // step advances the model by one instruction with the given execution
 // latency (1 for non-memory work). minIssue delays execution start past
 // dispatch (data dependence on an earlier memory result); the returned

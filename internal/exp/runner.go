@@ -61,6 +61,14 @@ type Setup struct {
 	// Instrument enables the requested instrumentation before
 	// measurement.
 	Instrument Instrumentation
+	// WarmupKey, when non-empty, asserts that every setup carrying the
+	// same key builds an identical machine and predictors and differs only
+	// in Instrument. The runner then warms that machine once per workload
+	// and hands each such setup its own warm-state fork (sim.System.Fork),
+	// instead of re-simulating the shared warmup prefix. Instrumentation
+	// is enabled only after warmup, so the shared warm state is
+	// bit-identical for every consumer.
+	WarmupKey string
 }
 
 // Instrumentation selects measurement machinery.
@@ -90,6 +98,18 @@ type Runner struct {
 	mu   sync.Mutex
 	memo map[string]*memoEntry
 
+	// bufMu guards bufMemo: one materialized trace buffer per workload,
+	// generated once (single-flight) and shared read-only by every setup
+	// and worker.
+	bufMu   sync.Mutex
+	bufMemo map[string]*bufEntry
+
+	// warmMu guards warmMemo: one warmed master system per (workload,
+	// WarmupKey), forked per consuming setup and released after
+	// warmForkBudget forks.
+	warmMu   sync.Mutex
+	warmMemo map[string]*warmEntry
+
 	// ProgressStart, when set, is called as each uncached simulation
 	// begins; memoized replays report nothing. With jobs > 1 the progress
 	// callbacks run concurrently from pool workers.
@@ -111,10 +131,41 @@ type memoEntry struct {
 	err  error
 }
 
+// bufEntry is one single-flight slot of the trace-buffer memo.
+type bufEntry struct {
+	done chan struct{}
+	buf  *trace.Buffer
+	err  error
+}
+
+// warmEntry is one single-flight slot of the warm-state memo: the leader
+// builds and warms the master system; consumers fork it.
+type warmEntry struct {
+	done chan struct{}
+	err  error
+
+	mu    sync.Mutex
+	sys   *sim.System   // warmed master; nil once the fork budget is spent
+	buf   *trace.Buffer // shared trace, with pos = the post-warmup cursor
+	pos   uint64
+	forks int
+}
+
+// warmForkBudget is how many forks a warm master serves before the runner
+// releases it: the grids pair each shareable setup with exactly one
+// instrumented twin (e.g. dpPred and dpPred+acc), so holding the master
+// beyond two forks would only retain memory.
+const warmForkBudget = 2
+
 // NewRunner creates a runner with the given parameters and a worker pool
 // sized to runtime.GOMAXPROCS.
 func NewRunner(p Params) *Runner {
-	r := &Runner{params: p, memo: make(map[string]*memoEntry)}
+	r := &Runner{
+		params:   p,
+		memo:     make(map[string]*memoEntry),
+		bufMemo:  make(map[string]*bufEntry),
+		warmMemo: make(map[string]*warmEntry),
+	}
 	r.SetJobs(runtime.GOMAXPROCS(0))
 	return r
 }
@@ -197,7 +248,177 @@ func (r *Runner) RunGrid(workloads []trace.Workload, setups []Setup) error {
 	return firstErr
 }
 
+// generator returns a fresh start-positioned view over the workload's
+// materialized trace buffer. The buffer itself is built once per workload
+// (single-flight, covering warmup+measure) and shared read-only afterwards;
+// callers each get an independent cursor.
+func (r *Runner) generator(w trace.Workload) (*trace.BufferReader, error) {
+	r.bufMu.Lock()
+	e, ok := r.bufMemo[w.Name]
+	if !ok {
+		e = &bufEntry{done: make(chan struct{})}
+		r.bufMemo[w.Name] = e
+		r.bufMu.Unlock()
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					e.err = fmt.Errorf("exp: materializing %s: %v", w.Name, p)
+				}
+				close(e.done)
+			}()
+			e.buf = trace.Materialize(w.New(r.params.Seed), r.params.Warmup+r.params.Measure)
+		}()
+	} else {
+		r.bufMu.Unlock()
+		<-e.done
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.buf.Reader(), nil
+}
+
+// BuildSystem constructs the machine and its predictors/prefetcher for a
+// non-oracle setup, without running anything. cmd/deadsim's checkpoint path
+// uses it to rebuild the exact machine a checkpoint was taken from.
+func (r *Runner) BuildSystem(setup Setup) (*sim.System, error) {
+	if setup.Oracle {
+		return nil, fmt.Errorf("exp: the oracle's two-pass protocol has no standalone system")
+	}
+	cfgFn := setup.Config
+	if cfgFn == nil {
+		cfgFn = sim.DefaultConfig
+	}
+	cfg := cfgFn()
+	cfg.Seed = r.params.Seed
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if setup.TLB != nil {
+		p, err := setup.TLB(s)
+		if err != nil {
+			return nil, err
+		}
+		s.SetTLBPredictor(p)
+	}
+	if setup.LLC != nil {
+		p, err := setup.LLC(s)
+		if err != nil {
+			return nil, err
+		}
+		s.SetLLCPredictor(p)
+	}
+	if setup.Prefetch != nil {
+		p, err := setup.Prefetch(s)
+		if err != nil {
+			return nil, err
+		}
+		s.SetTLBPrefetcher(p)
+	}
+	return s, nil
+}
+
+// measure runs the post-warmup half of a cell: enable the setup's
+// instrumentation, mark the measurement region, feed the measured accesses
+// and collect the result.
+func (r *Runner) measure(s *sim.System, g trace.Generator, setup Setup) (sim.Result, error) {
+	if setup.Instrument.Accuracy {
+		if err := s.EnableAccuracyTracking(); err != nil {
+			return sim.Result{}, err
+		}
+	}
+	if setup.Instrument.Characterize {
+		s.EnableCharacterization(r.params.SampleEvery)
+	}
+	s.StartMeasurement()
+	if err := s.Run(g, r.params.Measure); err != nil {
+		return sim.Result{}, err
+	}
+	s.Finish()
+	return s.Result(), nil
+}
+
+// warmShareable reports whether a setup can take the warm-state fork path:
+// it must declare a WarmupKey, and nothing may need to observe the warmup
+// prefix itself (observers attach before warmup; the oracle's record pass
+// and prefetchers manage their own state).
+func (r *Runner) warmShareable(setup Setup) bool {
+	return setup.WarmupKey != "" && r.Observer == nil &&
+		!setup.Oracle && setup.Prefetch == nil
+}
+
+// runShared executes a cell via the warm-state memo: the first setup for
+// (workload, WarmupKey) builds and warms the master, every consumer measures
+// on its own fork. ok=false means the path was unavailable (fork refused or
+// budget spent) and the caller should fall back to the cold path; errors
+// from building or warming the shared machine are real and propagate.
+func (r *Runner) runShared(w trace.Workload, setup Setup) (res sim.Result, ok bool, err error) {
+	key := w.Name + "\x00" + setup.WarmupKey
+	r.warmMu.Lock()
+	e, cached := r.warmMemo[key]
+	if !cached {
+		e = &warmEntry{done: make(chan struct{})}
+		r.warmMemo[key] = e
+		r.warmMu.Unlock()
+		func() {
+			defer close(e.done)
+			sys, err := r.BuildSystem(setup)
+			if err != nil {
+				e.err = err
+				return
+			}
+			rd, err := r.generator(w)
+			if err != nil {
+				e.err = err
+				return
+			}
+			if err := sys.Run(rd, r.params.Warmup); err != nil {
+				e.err = err
+				return
+			}
+			e.sys, e.buf, e.pos = sys, rd.Buffer(), rd.Pos()
+		}()
+	} else {
+		r.warmMu.Unlock()
+		<-e.done
+	}
+	if e.err != nil {
+		return sim.Result{}, true, e.err
+	}
+
+	e.mu.Lock()
+	master := e.sys
+	if master == nil {
+		// Fork budget already spent; an unexpected extra consumer warms
+		// its own machine on the cold path.
+		e.mu.Unlock()
+		return sim.Result{}, false, nil
+	}
+	fork, ferr := master.Fork()
+	if ferr == nil {
+		e.forks++
+		if e.forks >= warmForkBudget {
+			e.sys = nil // release the master for GC; the entry marks exhaustion
+		}
+	}
+	buf, pos := e.buf, e.pos
+	e.mu.Unlock()
+	if ferr != nil {
+		return sim.Result{}, false, nil // unforkable machine: cold path
+	}
+
+	res, err = r.measure(fork, buf.ReaderAt(pos), setup)
+	return res, true, err
+}
+
 func (r *Runner) runUncached(w trace.Workload, setup Setup) (sim.Result, error) {
+	if r.warmShareable(setup) {
+		if res, ok, err := r.runShared(w, setup); ok {
+			return res, err
+		}
+	}
+
 	cfgFn := setup.Config
 	if cfgFn == nil {
 		cfgFn = sim.DefaultConfig
@@ -254,24 +475,14 @@ func (r *Runner) runUncached(w trace.Workload, setup Setup) (sim.Result, error) 
 		s.AttachObserver(child)
 	}
 
-	g := w.New(r.params.Seed)
+	g, err := r.generator(w)
+	if err != nil {
+		return sim.Result{}, err
+	}
 	if err := s.Run(g, r.params.Warmup); err != nil {
 		return sim.Result{}, err
 	}
-	if setup.Instrument.Accuracy {
-		if err := s.EnableAccuracyTracking(); err != nil {
-			return sim.Result{}, err
-		}
-	}
-	if setup.Instrument.Characterize {
-		s.EnableCharacterization(r.params.SampleEvery)
-	}
-	s.StartMeasurement()
-	if err := s.Run(g, r.params.Measure); err != nil {
-		return sim.Result{}, err
-	}
-	s.Finish()
-	return s.Result(), nil
+	return r.measure(s, g, setup)
 }
 
 // recordPass runs the baseline machine over the same trace to capture
@@ -285,7 +496,10 @@ func (r *Runner) recordPass(w trace.Workload, cfgFn func() sim.Config) (*pred.DO
 	}
 	rec := pred.NewDOARecord()
 	s.SetTLBPredictor(pred.NewRecorderTLB(rec))
-	g := w.New(r.params.Seed)
+	g, err := r.generator(w)
+	if err != nil {
+		return nil, err
+	}
 	if err := s.Run(g, r.params.Warmup+r.params.Measure); err != nil {
 		return nil, err
 	}
@@ -294,17 +508,20 @@ func (r *Runner) recordPass(w trace.Workload, cfgFn func() sim.Config) (*pred.DO
 
 // --- Standard setups -----------------------------------------------------
 
-// Baseline is the unmodified Table I machine.
-func Baseline() Setup { return Setup{Name: "baseline"} }
+// Baseline is the unmodified Table I machine. It shares warm state with the
+// characterization cell (same machine, extra sampling after warmup).
+func Baseline() Setup { return Setup{Name: "baseline", WarmupKey: "baseline"} }
 
-// DPPredSetup runs dpPred on the LLT.
+// DPPredSetup runs dpPred on the LLT. Shares warm state with its accuracy
+// variant.
 func DPPredSetup() Setup {
-	return Setup{Name: "dpPred", TLB: newDPPred}
+	return Setup{Name: "dpPred", TLB: newDPPred, WarmupKey: "dpPred"}
 }
 
-// DPPredCBPredSetup runs the paper's full proposal: dpPred + cbPred.
+// DPPredCBPredSetup runs the paper's full proposal: dpPred + cbPred. Shares
+// warm state with its accuracy variant.
 func DPPredCBPredSetup() Setup {
-	return Setup{Name: "dpPred+cbPred", TLB: newDPPred, LLC: newCBPred}
+	return Setup{Name: "dpPred+cbPred", TLB: newDPPred, LLC: newCBPred, WarmupKey: "dpPred+cbPred"}
 }
 
 // AIPTLBSetup applies AIP to the LLT (§VI-A).
@@ -312,9 +529,10 @@ func AIPTLBSetup() Setup {
 	return Setup{Name: "AIP-TLB", TLB: newAIPTLB}
 }
 
-// SHiPTLBSetup applies SHiP to the LLT (§VI-A).
+// SHiPTLBSetup applies SHiP to the LLT (§VI-A). Shares warm state with its
+// accuracy variant.
 func SHiPTLBSetup() Setup {
-	return Setup{Name: "SHiP-TLB", TLB: newSHiPTLB}
+	return Setup{Name: "SHiP-TLB", TLB: newSHiPTLB, WarmupKey: "SHiP-TLB"}
 }
 
 // AIPLLCSetup applies AIP to the LLC (§VI-B).
@@ -322,9 +540,10 @@ func AIPLLCSetup() Setup {
 	return Setup{Name: "AIP-LLC", LLC: newAIPLLC}
 }
 
-// SHiPLLCSetup applies SHiP to the LLC (§VI-B).
+// SHiPLLCSetup applies SHiP to the LLC (§VI-B). Shares warm state with its
+// accuracy variant.
 func SHiPLLCSetup() Setup {
-	return Setup{Name: "SHiP-LLC", LLC: newSHiPLLC}
+	return Setup{Name: "SHiP-LLC", LLC: newSHiPLLC, WarmupKey: "SHiP-LLC"}
 }
 
 // AIPBothSetup applies AIP to both the LLT and the LLC.

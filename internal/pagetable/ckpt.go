@@ -1,0 +1,121 @@
+package pagetable
+
+import (
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/ckpt"
+)
+
+// EncodeState serializes the page table — allocator state, population
+// counters and the full radix tree — for warm-state checkpointing. Tree maps
+// are written with sorted keys so the byte stream is deterministic for
+// identical logical state. The interior-path memo is not stored: it is a
+// pure lookup shortcut that repopulates on the first post-restore walk.
+func (pt *PageTable) EncodeState(w *ckpt.Writer) {
+	w.Mark("pagetable")
+	w.U64(uint64(pt.alloc.policy))
+	w.U64(pt.alloc.next)
+	w.U64(pt.alloc.seed)
+	w.U64(pt.alloc.limit)
+	w.U64(pt.mappedPages)
+	w.U64(pt.tableNodes)
+	encodeNode(w, pt.root)
+}
+
+func encodeNode(w *ckpt.Writer, n *node) {
+	w.U64(uint64(n.frame))
+	w.Bool(n.children != nil)
+	if n.children != nil {
+		keys := make([]uint64, 0, len(n.children))
+		for k := range n.children {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		w.U64(uint64(len(keys)))
+		for _, k := range keys {
+			w.U64(k)
+			encodeNode(w, n.children[k])
+		}
+	}
+	w.Bool(n.leaves != nil)
+	if n.leaves != nil {
+		keys := make([]uint64, 0, len(n.leaves))
+		for k := range n.leaves {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		w.U64(uint64(len(keys)))
+		for _, k := range keys {
+			w.U64(k)
+			w.U64(uint64(n.leaves[k]))
+		}
+	}
+}
+
+// DecodeState restores state written by EncodeState, replacing the table's
+// current contents. The allocator limit is verified against the configured
+// one (a physical-memory mismatch would remap every frame).
+func (pt *PageTable) DecodeState(r *ckpt.Reader) error {
+	r.Expect("pagetable")
+	policy := AllocPolicy(r.U64())
+	next := r.U64()
+	seed := r.U64()
+	limit := r.U64()
+	if r.Err() == nil && limit != pt.alloc.limit {
+		r.Failf("pagetable: checkpoint physical memory (%d frames) does not match configured (%d)",
+			limit, pt.alloc.limit)
+	}
+	mapped := r.U64()
+	nodes := r.U64()
+	root := decodeNode(r, 0)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	pt.alloc.policy = policy
+	pt.alloc.next = next
+	pt.alloc.seed = seed
+	pt.mappedPages = mapped
+	pt.tableNodes = nodes
+	pt.root = root
+	pt.memoValid = false
+	pt.memoLeaf = nil
+	return nil
+}
+
+// maxRadixFanout bounds per-node child/leaf counts on decode (a radix node
+// holds at most 512 entries).
+const maxRadixFanout = 1 << arch.RadixIndexBits
+
+func decodeNode(r *ckpt.Reader, depth int) *node {
+	if depth >= arch.RadixLevels {
+		r.Failf("pagetable: checkpoint radix tree deeper than %d levels", arch.RadixLevels)
+		return nil
+	}
+	n := &node{frame: arch.PFN(r.U64())}
+	if r.Bool() {
+		count := r.U64()
+		if count > maxRadixFanout {
+			r.Failf("pagetable: checkpoint node fanout %d exceeds %d", count, maxRadixFanout)
+			return nil
+		}
+		n.children = make(map[uint64]*node, count)
+		for i := uint64(0); i < count && r.Err() == nil; i++ {
+			k := r.U64()
+			n.children[k] = decodeNode(r, depth+1)
+		}
+	}
+	if r.Bool() {
+		count := r.U64()
+		if count > maxRadixFanout {
+			r.Failf("pagetable: checkpoint leaf fanout %d exceeds %d", count, maxRadixFanout)
+			return nil
+		}
+		n.leaves = make(map[uint64]arch.PFN, count)
+		for i := uint64(0); i < count && r.Err() == nil; i++ {
+			k := r.U64()
+			n.leaves[k] = arch.PFN(r.U64())
+		}
+	}
+	return n
+}

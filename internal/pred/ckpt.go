@@ -1,0 +1,114 @@
+package pred
+
+import "repro/internal/ckpt"
+
+// Warm-state checkpointing for the baseline predictors. The null predictors
+// are stateless, so their codecs are no-ops with a section mark; SHiP stores
+// its SHCT; AIP stores its two-dimensional threshold table. The two-pass
+// oracle and recorder deliberately have no codec — their record/replay
+// protocol is tied to a single cold run, so checkpointing them would lie.
+
+// EncodeState serializes nothing (the null predictor is stateless).
+func (NullTLB) EncodeState(w *ckpt.Writer) { w.Mark("null-tlb") }
+
+// DecodeState restores nothing.
+func (NullTLB) DecodeState(r *ckpt.Reader) error {
+	r.Expect("null-tlb")
+	return r.Err()
+}
+
+// EncodeState serializes nothing (the null predictor is stateless).
+func (NullLLC) EncodeState(w *ckpt.Writer) { w.Mark("null-llc") }
+
+// DecodeState restores nothing.
+func (NullLLC) DecodeState(r *ckpt.Reader) error {
+	r.Expect("null-llc")
+	return r.Err()
+}
+
+func (s *ship) encodeState(w *ckpt.Writer) {
+	w.Mark("ship:" + s.name)
+	w.U64(uint64(len(s.shct)))
+	w.Binary(s.shct)
+}
+
+func (s *ship) decodeState(r *ckpt.Reader) error {
+	r.Expect("ship:" + s.name)
+	if n := r.U64(); r.Err() == nil && n != uint64(len(s.shct)) {
+		r.Failf("ship %s: checkpoint SHCT size %d does not match configured %d",
+			s.name, n, len(s.shct))
+	}
+	r.Binary(s.shct)
+	return r.Err()
+}
+
+// EncodeState serializes the SHCT for warm-state checkpointing.
+func (s *SHiPTLB) EncodeState(w *ckpt.Writer) { s.ship.encodeState(w) }
+
+// DecodeState restores state written by EncodeState.
+func (s *SHiPTLB) DecodeState(r *ckpt.Reader) error { return s.ship.decodeState(r) }
+
+// EncodeState serializes the SHCT for warm-state checkpointing.
+func (s *SHiPLLC) EncodeState(w *ckpt.Writer) { s.ship.encodeState(w) }
+
+// DecodeState restores state written by EncodeState.
+func (s *SHiPLLC) DecodeState(r *ckpt.Reader) error { return s.ship.decodeState(r) }
+
+func (a *aip) encodeState(w *ckpt.Writer) {
+	w.Mark("aip:" + a.name)
+	rows := len(a.table)
+	cols := 0
+	if rows > 0 {
+		cols = len(a.table[0])
+	}
+	w.U64(uint64(rows))
+	w.U64(uint64(cols))
+	for _, row := range a.table {
+		for _, e := range row {
+			w.U16(e.threshold)
+			w.Bool(e.conf)
+			w.Bool(e.valid)
+		}
+	}
+}
+
+func (a *aip) decodeState(r *ckpt.Reader) error {
+	r.Expect("aip:" + a.name)
+	rows := len(a.table)
+	cols := 0
+	if rows > 0 {
+		cols = len(a.table[0])
+	}
+	if gr, gc := r.U64(), r.U64(); r.Err() == nil &&
+		(gr != uint64(rows) || gc != uint64(cols)) {
+		r.Failf("aip %s: checkpoint table %d×%d does not match configured %d×%d",
+			a.name, gr, gc, rows, cols)
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	for _, row := range a.table {
+		for i := range row {
+			row[i] = aipEntry{
+				threshold: r.U16(),
+				conf:      r.Bool(),
+				valid:     r.Bool(),
+			}
+		}
+	}
+	return r.Err()
+}
+
+// EncodeState serializes the threshold table for warm-state checkpointing.
+// The per-entry interval counters live in the guarded structure's blocks and
+// are checkpointed with it.
+func (a *AIPTLB) EncodeState(w *ckpt.Writer) { a.aip.encodeState(w) }
+
+// DecodeState restores state written by EncodeState.
+func (a *AIPTLB) DecodeState(r *ckpt.Reader) error { return a.aip.decodeState(r) }
+
+// EncodeState serializes the threshold table for warm-state checkpointing.
+func (a *AIPLLC) EncodeState(w *ckpt.Writer) { a.aip.encodeState(w) }
+
+// DecodeState restores state written by EncodeState.
+func (a *AIPLLC) DecodeState(r *ckpt.Reader) error { return a.aip.decodeState(r) }

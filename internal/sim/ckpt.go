@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ckpt"
+)
+
+// Checkpoint file framing: magic, format version, then the meta block and
+// every component's state in a fixed order, each behind a labeled section
+// mark.
+const (
+	ckptMagic   = "DPCK"
+	ckptVersion = 1
+)
+
+// stateCodec is implemented by every component whose warm state a
+// checkpoint carries.
+type stateCodec interface {
+	EncodeState(w *ckpt.Writer)
+	DecodeState(r *ckpt.Reader) error
+}
+
+// CheckpointMeta identifies what a checkpoint was taken from, so a restore
+// under different flags fails loudly instead of silently diverging.
+type CheckpointMeta struct {
+	// Workload names the trace the checkpointed run consumed.
+	Workload string
+	// Seed is the workload/allocator seed.
+	Seed uint64
+	// Accesses is how many trace accesses the run had consumed when the
+	// checkpoint was taken; a restoring run fast-forwards its generator by
+	// this count to splice onto the same stream position.
+	Accesses uint64
+	// TLBPred and LLCPred are the installed predictors' names.
+	TLBPred string
+	LLCPred string
+}
+
+// ckptCodecs returns the predictor codecs, or an error naming the first
+// component that cannot be checkpointed.
+func (s *System) ckptCodecs() (tlbC, llcC stateCodec, err error) {
+	if s.cpuCore == nil {
+		return nil, nil, fmt.Errorf("sim: cannot checkpoint a system with a substituted core model")
+	}
+	if s.tlbPref != nil {
+		return nil, nil, fmt.Errorf("sim: cannot checkpoint with a TLB prefetcher installed")
+	}
+	tlbC, ok := s.tlbPred.(stateCodec)
+	if !ok {
+		return nil, nil, fmt.Errorf("sim: TLB predictor %q is not checkpointable", s.tlbPred.Name())
+	}
+	llcC, ok = s.llcPred.(stateCodec)
+	if !ok {
+		return nil, nil, fmt.Errorf("sim: LLC predictor %q is not checkpointable", s.llcPred.Name())
+	}
+	return tlbC, llcC, nil
+}
+
+// WriteCheckpoint serializes the machine's full warm state to wr. The
+// checkpoint captures pre-measurement state: take it after warmup, before
+// StartMeasurement and before enabling instrumentation (accuracy mirrors,
+// samplers and observers hold references into the live run and are rebuilt
+// by the restoring side).
+func (s *System) WriteCheckpoint(wr io.Writer, workload string) error {
+	if s.lltAcc != nil || s.lltSampler != nil || s.corr != nil {
+		return fmt.Errorf("sim: cannot checkpoint with instrumentation enabled")
+	}
+	tlbC, llcC, err := s.ckptCodecs()
+	if err != nil {
+		return err
+	}
+
+	w := ckpt.NewWriter(wr)
+	w.String(ckptMagic)
+	w.U16(ckptVersion)
+	w.String(workload)
+	w.U64(s.cfg.Seed)
+	w.U64(s.accesses)
+	w.String(s.tlbPred.Name())
+	w.String(s.llcPred.Name())
+
+	w.Mark("sim")
+	w.U64(s.walks)
+	w.U64(s.shadowFills)
+	w.U64(s.prefFills)
+	w.U64(s.prefUseful)
+	w.U64(s.walkerBusyUntil)
+	w.U64(s.walkQueueCycles)
+	w.U64(s.stepNow)
+
+	s.cpuCore.EncodeState(w)
+	s.itlb.EncodeState(w)
+	s.dtlb.EncodeState(w)
+	s.llt.EncodeState(w)
+	s.l1d.EncodeState(w)
+	s.l2.EncodeState(w)
+	s.llc.EncodeState(w)
+	s.pt.EncodeState(w)
+	s.walk.EncodeState(w)
+	tlbC.EncodeState(w)
+	llcC.EncodeState(w)
+	w.Mark("end")
+	return w.Flush()
+}
+
+// ReadCheckpoint restores state written by WriteCheckpoint into a system
+// built with the identical configuration and predictors, returning the
+// checkpoint's meta block. The caller verifies the meta against its own
+// flags and fast-forwards its trace generator by meta.Accesses; after that,
+// stepping the restored system is bit-identical to having continued the
+// checkpointed run.
+func (s *System) ReadCheckpoint(rd io.Reader) (CheckpointMeta, error) {
+	tlbC, llcC, err := s.ckptCodecs()
+	if err != nil {
+		return CheckpointMeta{}, err
+	}
+
+	r := ckpt.NewReader(rd)
+	if magic := r.String(); r.Err() == nil && magic != ckptMagic {
+		return CheckpointMeta{}, fmt.Errorf("sim: not a checkpoint file (magic %q)", magic)
+	}
+	if v := r.U16(); r.Err() == nil && v != ckptVersion {
+		return CheckpointMeta{}, fmt.Errorf("sim: unsupported checkpoint version %d (want %d)", v, ckptVersion)
+	}
+	meta := CheckpointMeta{
+		Workload: r.String(),
+		Seed:     r.U64(),
+		Accesses: r.U64(),
+		TLBPred:  r.String(),
+		LLCPred:  r.String(),
+	}
+	if r.Err() != nil {
+		return CheckpointMeta{}, r.Err()
+	}
+	if meta.Seed != s.cfg.Seed {
+		return CheckpointMeta{}, fmt.Errorf("sim: checkpoint seed %d does not match configured %d", meta.Seed, s.cfg.Seed)
+	}
+	if meta.TLBPred != s.tlbPred.Name() || meta.LLCPred != s.llcPred.Name() {
+		return CheckpointMeta{}, fmt.Errorf("sim: checkpoint predictors (tlb=%s llc=%s) do not match installed (tlb=%s llc=%s)",
+			meta.TLBPred, meta.LLCPred, s.tlbPred.Name(), s.llcPred.Name())
+	}
+
+	r.Expect("sim")
+	s.accesses = meta.Accesses
+	s.walks = r.U64()
+	s.shadowFills = r.U64()
+	s.prefFills = r.U64()
+	s.prefUseful = r.U64()
+	s.walkerBusyUntil = r.U64()
+	s.walkQueueCycles = r.U64()
+	s.stepNow = r.U64()
+
+	for _, c := range []stateCodec{
+		s.cpuCore, s.itlb, s.dtlb, s.llt, s.l1d, s.l2, s.llc,
+		s.pt, s.walk, tlbC, llcC,
+	} {
+		if err := c.DecodeState(r); err != nil {
+			return CheckpointMeta{}, err
+		}
+	}
+	r.Expect("end")
+	return meta, r.Err()
+}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pred"
+	"repro/internal/trace"
+)
+
+// warmSystem builds a dpPred+cbPred machine, warms it over a materialized
+// buffer, and returns the system plus the shared buffer and post-warmup
+// cursor. dpPred+cbPred is the deepest-state configuration, so it exercises
+// every Clone path.
+func warmSystem(t testing.TB, warm uint64) (*System, *trace.Buffer, uint64) {
+	t.Helper()
+	s := MustNew(smallConfig())
+	dp, err := newTestDPPred(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetTLBPredictor(dp)
+	cb, err := core.NewCBPred(core.DefaultCBPredConfig(s.LLC().Capacity()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetLLCPredictor(cb)
+
+	w, err := trace.ByName("sssp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := trace.Materialize(w.New(42), warm+400_000)
+	rd := buf.Reader()
+	if err := s.Run(rd, warm); err != nil {
+		t.Fatal(err)
+	}
+	return s, buf, rd.Pos()
+}
+
+func measureFrom(t *testing.T, s *System, buf *trace.Buffer, pos, n uint64) Result {
+	t.Helper()
+	s.StartMeasurement()
+	if err := s.Run(buf.ReaderAt(pos), n); err != nil {
+		t.Fatal(err)
+	}
+	s.Finish()
+	return s.Result()
+}
+
+// TestForkBitIdentical is the fork contract: measuring on a fork must be
+// bit-identical to measuring on the master it was taken from.
+func TestForkBitIdentical(t *testing.T) {
+	const warm, meas = 100_000, 200_000
+	s, buf, pos := warmSystem(t, warm)
+	f, err := s.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := measureFrom(t, f, buf, pos, meas)
+	want := measureFrom(t, s, buf, pos, meas)
+	if got != want {
+		t.Errorf("forked run diverged from master:\n  fork=%+v\n  master=%+v", got, want)
+	}
+}
+
+// TestForkSiblingsIndependent: running one fork must not perturb another.
+// Both siblings replay the same stream, so their results must be bit-equal
+// regardless of execution order.
+func TestForkSiblingsIndependent(t *testing.T) {
+	const warm, meas = 100_000, 200_000
+	s, buf, pos := warmSystem(t, warm)
+	a, err := s.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := measureFrom(t, a, buf, pos, meas)
+	rb := measureFrom(t, b, buf, pos, meas)
+	if ra != rb {
+		t.Errorf("sibling forks diverged:\n  a=%+v\n  b=%+v", ra, rb)
+	}
+}
+
+// TestConcurrentSiblingForks runs sibling forks in parallel goroutines over
+// the same shared buffer. Under -race this proves forks share no mutable
+// state with each other or with the read-only trace.
+func TestConcurrentSiblingForks(t *testing.T) {
+	const warm, meas, n = 80_000, 150_000, 4
+	s, buf, pos := warmSystem(t, warm)
+
+	results := make([]Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		f, err := s.Fork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, f *System) {
+			defer wg.Done()
+			f.StartMeasurement()
+			if err := f.Run(buf.ReaderAt(pos), meas); err != nil {
+				t.Error(err)
+				return
+			}
+			f.Finish()
+			results[i] = f.Result()
+		}(i, f)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Errorf("concurrent fork %d diverged:\n  got=%+v\n  want=%+v", i, results[i], results[0])
+		}
+	}
+}
+
+// TestForkRefusals: a fork would alias live instrumentation or observer
+// state, and non-clonable predictors (the two-pass oracle machinery) cannot
+// be duplicated — all must be refused, not silently shallow-copied.
+func TestForkRefusals(t *testing.T) {
+	t.Run("accuracy", func(t *testing.T) {
+		s := MustNew(smallConfig())
+		if err := s.EnableAccuracyTracking(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Fork(); err == nil {
+			t.Error("fork with accuracy tracking enabled was not refused")
+		}
+	})
+	t.Run("characterize", func(t *testing.T) {
+		s := MustNew(smallConfig())
+		s.EnableCharacterization(1000)
+		if _, err := s.Fork(); err == nil {
+			t.Error("fork with characterization enabled was not refused")
+		}
+	})
+	t.Run("recorder", func(t *testing.T) {
+		s := MustNew(smallConfig())
+		s.SetTLBPredictor(pred.NewRecorderTLB(pred.NewDOARecord()))
+		if _, err := s.Fork(); err == nil {
+			t.Error("fork with the oracle recorder installed was not refused")
+		}
+	})
+}
+
+// BenchmarkSystemFork prices a warm-state fork of the full dpPred+cbPred
+// machine — the cost the runner pays instead of re-simulating a warmup.
+func BenchmarkSystemFork(b *testing.B) {
+	s, _, _ := warmSystem(b, 100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fork(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

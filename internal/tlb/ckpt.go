@@ -1,0 +1,11 @@
+package tlb
+
+import "repro/internal/ckpt"
+
+// EncodeState serializes the TLB's mutable state (delegating to the backing
+// set-associative structure) for warm-state checkpointing.
+func (t *TLB) EncodeState(w *ckpt.Writer) { t.c.EncodeState(w) }
+
+// DecodeState restores state written by EncodeState into a TLB built with
+// the identical configuration.
+func (t *TLB) DecodeState(r *ckpt.Reader) error { return t.c.DecodeState(r) }

@@ -111,6 +111,16 @@ func (t *TLB) RecordBypass() { t.c.RecordBypass() }
 // Inner exposes the backing structure for predictors, samplers and stats.
 func (t *TLB) Inner() *cache.Cache { return t.c }
 
+// Clone deep-copies the TLB (contents, replacement state, statistics) for
+// warm-state forking; the copy shares no mutable state with the original.
+func (t *TLB) Clone() (*TLB, error) {
+	c, err := t.c.Clone()
+	if err != nil {
+		return nil, err
+	}
+	return &TLB{c: c, lat: t.lat}, nil
+}
+
 // Stats returns the activity counters.
 func (t *TLB) Stats() cache.Stats { return t.c.Stats() }
 

@@ -1,0 +1,350 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+)
+
+// Buffer is a materialized access trace in struct-of-arrays form: one flat
+// slice per Access field, so a million-access workload costs four slice
+// headers and ~21 bytes per access instead of a million Access values
+// behind an interface. The experiment runner materializes each workload's
+// stream once and replays it read-only from every (workload, setup) cell
+// and every worker, eliminating the per-cell regeneration cost (the RNG
+// and math.Pow work of the synthetic generators).
+//
+// A Buffer is immutable once built; concurrent readers need no locking.
+type Buffer struct {
+	name  string
+	pc    []uint64
+	va    []uint64
+	gap   []uint32
+	flags []uint8
+}
+
+// Per-record flag bits of the packed flags byte. Bits 2..7 are reserved
+// and must be zero on disk.
+const (
+	bufFlagWrite     = 1 << 0
+	bufFlagDependent = 1 << 1
+	bufFlagReserved  = ^uint8(bufFlagWrite | bufFlagDependent)
+)
+
+// NewBuffer returns an empty buffer with capacity for n accesses.
+func NewBuffer(name string, n int) *Buffer {
+	return &Buffer{
+		name:  name,
+		pc:    make([]uint64, 0, n),
+		va:    make([]uint64, 0, n),
+		gap:   make([]uint32, 0, n),
+		flags: make([]uint8, 0, n),
+	}
+}
+
+// Materialize drains n accesses from the generator into a new buffer.
+// The buffer replays bit-identically to the live stream: Materialize
+// consumes the generator exactly as a simulation would.
+func Materialize(g Generator, n uint64) *Buffer {
+	b := NewBuffer(g.Name(), int(n))
+	for i := uint64(0); i < n; i++ {
+		b.Append(g.Next())
+	}
+	return b
+}
+
+// Name returns the workload name carried with the buffer.
+func (b *Buffer) Name() string { return b.name }
+
+// Len returns the number of materialized accesses.
+func (b *Buffer) Len() uint64 { return uint64(len(b.pc)) }
+
+// Append adds one access.
+func (b *Buffer) Append(a Access) {
+	var f uint8
+	if a.Write {
+		f |= bufFlagWrite
+	}
+	if a.Dependent {
+		f |= bufFlagDependent
+	}
+	b.pc = append(b.pc, a.PC)
+	b.va = append(b.va, uint64(a.Addr))
+	b.gap = append(b.gap, a.Gap)
+	b.flags = append(b.flags, f)
+}
+
+// At reconstructs the i-th access. i must be < Len().
+func (b *Buffer) At(i uint64) Access {
+	f := b.flags[i]
+	return Access{
+		PC:        b.pc[i],
+		Addr:      arch.VAddr(b.va[i]),
+		Gap:       b.gap[i],
+		Write:     f&bufFlagWrite != 0,
+		Dependent: f&bufFlagDependent != 0,
+	}
+}
+
+// Reader returns a Generator view positioned at the start of the buffer.
+func (b *Buffer) Reader() *BufferReader { return &BufferReader{buf: b} }
+
+// ReaderAt returns a Generator view positioned at access pos (clamped to
+// the buffer length; the next Next() wraps to the start when pos == Len).
+func (b *Buffer) ReaderAt(pos uint64) *BufferReader {
+	if pos > b.Len() {
+		pos = b.Len()
+	}
+	return &BufferReader{buf: b, pos: pos}
+}
+
+// BufferReader is a positioned Generator over a shared read-only Buffer.
+// Forking a reader costs one small allocation, which is what lets a warmed
+// simulation and its clones resume the same stream independently.
+type BufferReader struct {
+	buf *Buffer
+	pos uint64
+}
+
+// Name implements Generator.
+func (r *BufferReader) Name() string { return r.buf.name }
+
+// Pos returns the index of the next access to be returned.
+func (r *BufferReader) Pos() uint64 { return r.pos }
+
+// Buffer returns the underlying shared buffer.
+func (r *BufferReader) Buffer() *Buffer { return r.buf }
+
+// Next implements Generator. Past the end the reader wraps to the start,
+// mirroring the looping Replayer; an empty buffer returns zero accesses.
+func (r *BufferReader) Next() Access {
+	if r.pos >= r.buf.Len() {
+		if r.buf.Len() == 0 {
+			return Access{}
+		}
+		r.pos = 0
+	}
+	a := r.buf.At(r.pos)
+	r.pos++
+	return a
+}
+
+// Fork implements ForkableGenerator: the new reader shares the buffer and
+// continues from the same position, independently.
+func (r *BufferReader) Fork() Generator {
+	c := *r
+	return &c
+}
+
+// ForkableGenerator is a Generator whose position/state can be duplicated
+// so two consumers continue the same stream independently. BufferReader
+// forks by copying its cursor; the synthetic mix generators fork by
+// deep-copying their RNG and per-stream offsets. The warm-state fork path
+// in the experiment runner requires it.
+type ForkableGenerator interface {
+	Generator
+	Fork() Generator
+}
+
+// --- Binary codec --------------------------------------------------------
+//
+// Buffer file format (all little-endian):
+//
+//	header:  magic "DPBF" | version u16 | flags u16 (reserved, 0) |
+//	         name len u16 | name | count u64
+//	body:    pc [count]u64 | vaddr [count]u64 | gap [count]u32 |
+//	         flags [count]u8 (bits 2..7 reserved, 0)
+//
+// The struct-of-arrays body mirrors the in-memory layout, so a dump is a
+// straight slice copy per field. The format is versioned separately from
+// the record-stream DPTR format in replay.go: DPTR is for interchange with
+// external tools, DPBF is the runner's materialized cache format.
+const (
+	bufferMagic   = "DPBF"
+	bufferVersion = 1
+	// bufferChunk bounds how many records a decoder materializes per read,
+	// so a corrupt header claiming 2^60 records fails at EOF instead of
+	// attempting a huge allocation.
+	bufferChunk = 1 << 16
+)
+
+// WriteTo serializes the buffer. It implements io.WriterTo.
+func (b *Buffer) WriteTo(w io.Writer) (int64, error) {
+	if len(b.name) > 1<<16-1 {
+		return 0, fmt.Errorf("trace: buffer name too long (%d bytes)", len(b.name))
+	}
+	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	cw.str(bufferMagic)
+	cw.u16(bufferVersion)
+	cw.u16(0) // reserved flags
+	cw.u16(uint16(len(b.name)))
+	cw.str(b.name)
+	cw.u64(b.Len())
+	for _, v := range b.pc {
+		cw.u64(v)
+	}
+	for _, v := range b.va {
+		cw.u64(v)
+	}
+	for _, v := range b.gap {
+		cw.u32(v)
+	}
+	cw.bytes(b.flags)
+	if cw.err == nil {
+		cw.err = cw.w.(*bufio.Writer).Flush()
+	}
+	return cw.n, cw.err
+}
+
+// countingWriter latches the first write error and counts bytes.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) bytes(p []byte) {
+	if c.err != nil {
+		return
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+}
+
+func (c *countingWriter) str(s string) { c.bytes([]byte(s)) }
+
+func (c *countingWriter) u16(v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	c.bytes(b[:])
+}
+
+func (c *countingWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	c.bytes(b[:])
+}
+
+func (c *countingWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	c.bytes(b[:])
+}
+
+// ReadBuffer deserializes a buffer written by WriteTo. Truncated, corrupt
+// or future-versioned inputs return an error; they never panic and never
+// allocate proportionally to an unvalidated count.
+func ReadBuffer(r io.Reader) (*Buffer, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [4 + 2 + 2 + 2]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading buffer header: %w", err)
+	}
+	if string(hdr[:4]) != bufferMagic {
+		return nil, fmt.Errorf("trace: bad buffer magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != bufferVersion {
+		return nil, fmt.Errorf("trace: unsupported buffer version %d", v)
+	}
+	if fl := binary.LittleEndian.Uint16(hdr[6:]); fl != 0 {
+		return nil, fmt.Errorf("trace: reserved buffer header flags %#x set", fl)
+	}
+	nameLen := int(binary.LittleEndian.Uint16(hdr[8:]))
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading buffer name: %w", err)
+	}
+	var cnt [8]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading buffer count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(cnt[:])
+
+	b := &Buffer{name: string(name)}
+	var err error
+	if b.pc, err = readU64s(br, count, "pc"); err != nil {
+		return nil, err
+	}
+	if b.va, err = readU64s(br, count, "vaddr"); err != nil {
+		return nil, err
+	}
+	if b.gap, err = readU32s(br, count); err != nil {
+		return nil, err
+	}
+	if b.flags, err = readFlags(br, count); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// readU64s reads count little-endian u64s in bounded chunks.
+func readU64s(r io.Reader, count uint64, field string) ([]uint64, error) {
+	var out []uint64
+	var raw [bufferChunk * 8]byte
+	for got := uint64(0); got < count; {
+		n := count - got
+		if n > bufferChunk {
+			n = bufferChunk
+		}
+		chunk := raw[:n*8]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return nil, fmt.Errorf("trace: reading buffer %s array: %w", field, err)
+		}
+		for i := uint64(0); i < n; i++ {
+			out = append(out, binary.LittleEndian.Uint64(chunk[i*8:]))
+		}
+		got += n
+	}
+	return out, nil
+}
+
+// readU32s reads count little-endian u32s in bounded chunks.
+func readU32s(r io.Reader, count uint64) ([]uint32, error) {
+	var out []uint32
+	var raw [bufferChunk * 4]byte
+	for got := uint64(0); got < count; {
+		n := count - got
+		if n > bufferChunk {
+			n = bufferChunk
+		}
+		chunk := raw[:n*4]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return nil, fmt.Errorf("trace: reading buffer gap array: %w", err)
+		}
+		for i := uint64(0); i < n; i++ {
+			out = append(out, binary.LittleEndian.Uint32(chunk[i*4:]))
+		}
+		got += n
+	}
+	return out, nil
+}
+
+// readFlags reads count flag bytes in bounded chunks, rejecting reserved
+// bits.
+func readFlags(r io.Reader, count uint64) ([]uint8, error) {
+	var out []uint8
+	var raw [bufferChunk]byte
+	for got := uint64(0); got < count; {
+		n := count - got
+		if n > bufferChunk {
+			n = bufferChunk
+		}
+		chunk := raw[:n]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return nil, fmt.Errorf("trace: reading buffer flags array: %w", err)
+		}
+		for i, f := range chunk {
+			if f&bufFlagReserved != 0 {
+				return nil, fmt.Errorf("trace: record %d: reserved flag bits %#x set",
+					got+uint64(i), f&bufFlagReserved)
+			}
+		}
+		out = append(out, chunk...)
+		got += n
+	}
+	return out, nil
+}

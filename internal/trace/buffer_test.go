@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestMaterializeMatchesLive: replaying a materialized buffer must be
+// bit-identical to consuming the live generator — the tentpole invariant
+// that lets the runner substitute buffers for regeneration.
+func TestMaterializeMatchesLive(t *testing.T) {
+	const n = 20_000
+	w, err := ByName("cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Materialize(w.New(7), n)
+	if b.Len() != n {
+		t.Fatalf("Len = %d, want %d", b.Len(), n)
+	}
+	if b.Name() != w.New(7).Name() {
+		t.Errorf("Name = %q, want %q", b.Name(), w.New(7).Name())
+	}
+	live := w.New(7)
+	rd := b.Reader()
+	for i := 0; i < n; i++ {
+		if got, want := rd.Next(), live.Next(); got != want {
+			t.Fatalf("access %d: buffer %+v, live %+v", i, got, want)
+		}
+	}
+}
+
+// TestBufferPackedFlagsRoundTrip: the Write/Dependent bits share one packed
+// byte; every combination must survive Append → At unchanged.
+func TestBufferPackedFlagsRoundTrip(t *testing.T) {
+	cases := []Access{
+		{PC: 0x400000, Addr: 0x1000, Gap: 1},
+		{PC: 0x400008, Addr: 0x2000, Gap: 2, Write: true},
+		{PC: 0x400010, Addr: 0x3000, Gap: 3, Dependent: true},
+		{PC: 0x400018, Addr: 0x4000, Gap: 4, Write: true, Dependent: true},
+		{PC: ^uint64(0), Addr: arch.VAddr(^uint64(0)), Gap: ^uint32(0), Write: true, Dependent: true},
+		{},
+	}
+	b := NewBuffer("packed", len(cases))
+	for _, a := range cases {
+		b.Append(a)
+	}
+	for i, want := range cases {
+		if got := b.At(uint64(i)); got != want {
+			t.Errorf("access %d: got %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestBufferCodecRoundTrip: WriteTo → ReadBuffer must be lossless.
+func TestBufferCodecRoundTrip(t *testing.T) {
+	w, err := ByName("sssp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Materialize(w.New(3), 5_000)
+	var buf bytes.Buffer
+	n, err := in.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	out, err := ReadBuffer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name() != in.Name() || out.Len() != in.Len() {
+		t.Fatalf("decoded (%q, %d), want (%q, %d)", out.Name(), out.Len(), in.Name(), in.Len())
+	}
+	for i := uint64(0); i < in.Len(); i++ {
+		if out.At(i) != in.At(i) {
+			t.Fatalf("access %d: decoded %+v, want %+v", i, out.At(i), in.At(i))
+		}
+	}
+}
+
+// TestBufferCodecRejects: corrupt inputs must error, never panic or
+// over-allocate.
+func TestBufferCodecRejects(t *testing.T) {
+	var good bytes.Buffer
+	if _, err := Materialize(mustByName(t, "cc").New(1), 16).WriteTo(&good); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":           nil,
+		"bad magic":       []byte("NOPE\x01\x00\x00\x00\x00\x00"),
+		"bad version":     []byte("DPBF\x07\x00\x00\x00\x00\x00"),
+		"reserved header": []byte("DPBF\x01\x00\x01\x00\x00\x00"),
+		"truncated":       good.Bytes()[:good.Len()-3],
+		"huge count": append([]byte("DPBF\x01\x00\x00\x00\x00\x00"),
+			0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f),
+	}
+	for name, data := range cases {
+		if _, err := ReadBuffer(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// Reserved record-flag bits must be rejected too.
+	raw := append([]byte(nil), good.Bytes()...)
+	raw[len(raw)-1] |= 0x80
+	if _, err := ReadBuffer(bytes.NewReader(raw)); err == nil {
+		t.Error("reserved record flag bits accepted")
+	}
+}
+
+// TestBufferReaderWrapsAndForks: ReaderAt cursors wrap like the looping
+// Replayer, and forked readers advance independently.
+func TestBufferReaderWrapsAndForks(t *testing.T) {
+	b := NewBuffer("wrap", 3)
+	for i := 0; i < 3; i++ {
+		b.Append(Access{PC: uint64(i)})
+	}
+	rd := b.ReaderAt(b.Len()) // at the end: next access wraps to 0
+	if got := rd.Next(); got.PC != 0 {
+		t.Errorf("wrap: got PC %d, want 0", got.PC)
+	}
+
+	f := rd.Fork()
+	if got := rd.Next().PC; got != 1 {
+		t.Errorf("original after fork: PC %d, want 1", got)
+	}
+	if got := f.Next().PC; got != 1 {
+		t.Errorf("fork: PC %d, want 1 (independent cursor)", got)
+	}
+
+	empty := NewBuffer("empty", 0).Reader()
+	if got := empty.Next(); got != (Access{}) {
+		t.Errorf("empty buffer: got %+v, want zero access", got)
+	}
+}
+
+// TestMixGenFork: the synthetic generators' Fork must yield an independent
+// stream that continues identically to the original.
+func TestMixGenFork(t *testing.T) {
+	g := mustByName(t, "canneal").New(11)
+	fg, ok := g.(ForkableGenerator)
+	if !ok {
+		t.Fatal("synthetic workload generator does not implement ForkableGenerator")
+	}
+	for i := 0; i < 1_000; i++ {
+		g.Next()
+	}
+	f := fg.Fork()
+	for i := 0; i < 1_000; i++ {
+		a, b := g.Next(), f.Next()
+		if a != b {
+			t.Fatalf("access %d after fork: original %+v, fork %+v", i, a, b)
+		}
+	}
+}
+
+// TestReadTraceSniffsBothFormats: ReadTrace must yield the same buffer from
+// a DPTR record stream and a DPBF dump of the same accesses.
+func TestReadTraceSniffsBothFormats(t *testing.T) {
+	w := mustByName(t, "cc")
+	const n = 2_000
+	want := Materialize(w.New(5), n)
+
+	var dptr, dpbf bytes.Buffer
+	if err := Record(&dptr, w.New(5), n); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := want.WriteTo(&dpbf); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, data := range map[string][]byte{"DPTR": dptr.Bytes(), "DPBF": dpbf.Bytes()} {
+		got, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Name() != want.Name() || got.Len() != want.Len() {
+			t.Fatalf("%s: (%q, %d), want (%q, %d)", name, got.Name(), got.Len(), want.Name(), want.Len())
+		}
+		for i := uint64(0); i < n; i++ {
+			if got.At(i) != want.At(i) {
+				t.Fatalf("%s: access %d: %+v, want %+v", name, i, got.At(i), want.At(i))
+			}
+		}
+	}
+
+	if _, err := ReadTrace(bytes.NewReader([]byte("????junk"))); err == nil {
+		t.Error("unrecognized magic accepted")
+	}
+}
+
+func mustByName(t testing.TB, name string) Workload {
+	t.Helper()
+	w, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkMaterialize prices building a buffer from the live generator —
+// the once-per-workload cost the runner pays up front.
+func BenchmarkMaterialize(b *testing.B) {
+	w := mustByName(b, "cc")
+	const n = 100_000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Materialize(w.New(1), n)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/access")
+}
+
+// BenchmarkBufferReplay prices reading one access back out of a shared
+// buffer — the per-access cost every consumer pays instead of regenerating.
+func BenchmarkBufferReplay(b *testing.B) {
+	rd := Materialize(mustByName(b, "cc").New(1), 100_000).Reader()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Next()
+	}
+}
+
+// BenchmarkLiveGenerate is the comparison point for BenchmarkBufferReplay:
+// what an access costs when produced by the synthetic generator directly.
+func BenchmarkLiveGenerate(b *testing.B) {
+	g := mustByName(b, "cc").New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

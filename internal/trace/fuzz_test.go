@@ -67,6 +67,57 @@ func FuzzReplayer(f *testing.F) {
 	})
 }
 
+// FuzzBufferCodec feeds arbitrary bytes through the DPBF buffer parser. The
+// decoder must never panic and never allocate proportionally to an
+// unvalidated count; any buffer it does accept must survive a re-encode →
+// re-decode round trip unchanged.
+func FuzzBufferCodec(f *testing.F) {
+	for _, name := range []string{"cc", "sssp"} {
+		w, err := ByName(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := Materialize(w.New(1), 16).WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()-5]) // truncated mid-array
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte("DPBF"))                           // magic only
+	f.Add([]byte("DPBF\x01\x00\x00\x00\x00\x00"))   // empty name, no count
+	f.Add([]byte("DPBF\x02\x00\x00\x00\x00\x00"))   // unsupported version
+	f.Add([]byte("DPBF\x01\x00\x01\x00\x00\x00"))   // reserved header flags
+	f.Add([]byte("DPBF\x01\x00\x00\x00\xff\xffxx")) // name length beyond data
+	f.Add(append([]byte("DPBF\x01\x00\x00\x00\x00\x00"),
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff)) // absurd count
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := ReadBuffer(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := b.WriteTo(&out); err != nil {
+			t.Fatalf("re-encoding an accepted buffer failed: %v", err)
+		}
+		b2, err := ReadBuffer(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded buffer failed: %v", err)
+		}
+		if b2.Name() != b.Name() || b2.Len() != b.Len() {
+			t.Fatalf("round trip changed identity: (%q, %d) -> (%q, %d)",
+				b.Name(), b.Len(), b2.Name(), b2.Len())
+		}
+		for i := uint64(0); i < b.Len(); i++ {
+			if b.At(i) != b2.At(i) {
+				t.Fatalf("round trip changed access %d: %+v -> %+v", i, b.At(i), b2.At(i))
+			}
+		}
+	})
+}
+
 // FuzzRoundTrip checks Writer → Replayer is lossless for any access record.
 func FuzzRoundTrip(f *testing.F) {
 	f.Add(uint64(0x400123), uint64(0x7fff_0000_1000), uint32(3), true, false)

@@ -198,6 +198,18 @@ func hashName(name string) uint64 {
 // Name implements Generator.
 func (g *mixGen) Name() string { return g.spec.Name }
 
+// Fork implements ForkableGenerator: the copy carries its own RNG state and
+// per-stream cursors so both generators continue the identical stream
+// independently. The spec, instruction sites and per-stream geometry are
+// immutable after NewMix and stay shared.
+func (g *mixGen) Fork() Generator {
+	c := *g
+	c.r = g.r.clone()
+	c.pos = append([]uint64(nil), g.pos...)
+	c.win = append([]uint64(nil), g.win...)
+	return &c
+}
+
 // Next implements Generator.
 func (g *mixGen) Next() Access {
 	g.count++

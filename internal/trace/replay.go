@@ -125,38 +125,49 @@ type Replayer struct {
 // access repeats.
 func NewReplayer(r io.Reader, loop bool) (*Replayer, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	name, hdrLen, err := readTraceHeader(br)
+	if err != nil {
+		return nil, err
 	}
-	if string(magic) != traceMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic)
-	}
-	var hdr [6]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
-	}
-	if v := binary.LittleEndian.Uint16(hdr[0:]); v != traceVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
-	}
-	if fl := binary.LittleEndian.Uint16(hdr[2:]); fl != 0 {
-		return nil, fmt.Errorf("trace: reserved header flags %#x set", fl)
-	}
-	nameLen := int(binary.LittleEndian.Uint16(hdr[4:]))
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
-	}
-	rp := &Replayer{r: br, name: string(name), loop: loop}
+	rp := &Replayer{r: br, name: name, loop: loop}
 	if loop {
 		rs, ok := r.(io.ReadSeeker)
 		if !ok {
 			return nil, errors.New("trace: looping replay needs an io.ReadSeeker")
 		}
 		rp.seeker = rs
-		rp.body = int64(4 + len(hdr) + nameLen)
+		rp.body = hdrLen
 	}
 	return rp, nil
+}
+
+// readTraceHeader consumes and validates a DPTR header, returning the
+// workload name and the header's byte length (the seek target for looping
+// replay).
+func readTraceHeader(br *bufio.Reader) (name string, hdrLen int64, err error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return "", 0, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return "", 0, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var hdr [6]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return "", 0, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:]); v != traceVersion {
+		return "", 0, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	if fl := binary.LittleEndian.Uint16(hdr[2:]); fl != 0 {
+		return "", 0, fmt.Errorf("trace: reserved header flags %#x set", fl)
+	}
+	nameLen := int(binary.LittleEndian.Uint16(hdr[4:]))
+	nb := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nb); err != nil {
+		return "", 0, fmt.Errorf("trace: reading name: %w", err)
+	}
+	return string(nb), int64(4 + len(hdr) + nameLen), nil
 }
 
 // Name implements Generator.

@@ -24,6 +24,13 @@ func newRNG(seed uint64) *rng {
 	return r
 }
 
+// clone duplicates the generator state: both copies continue the same
+// stream independently (warm-state forking).
+func (r *rng) clone() *rng {
+	c := *r
+	return &c
+}
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next raw value.

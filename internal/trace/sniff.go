@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+)
+
+// ReadTrace materializes any of the repository's trace file formats into a
+// Buffer, dispatching on the leading magic: DPTR record streams (the
+// interchange format written by trace.Record / cmd/tracedump) and DPBF
+// buffer dumps (the runner's materialized cache format). Tools that analyze
+// traces can accept either without caring which one they were handed.
+func ReadTrace(r io.Reader) (*Buffer, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("trace: sniffing magic: %w", err)
+	}
+	switch string(magic) {
+	case bufferMagic:
+		return ReadBuffer(br)
+	case traceMagic:
+		return readTraceRecords(br)
+	default:
+		return nil, fmt.Errorf("trace: unrecognized magic %q (want %q or %q)",
+			magic, traceMagic, bufferMagic)
+	}
+}
+
+// readTraceRecords drains a DPTR stream into a Buffer. The record count is
+// not stored in the header, so the stream ends at clean EOF; a partial
+// trailing record is corruption and errors out.
+func readTraceRecords(br *bufio.Reader) (*Buffer, error) {
+	name, _, err := readTraceHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	b := &Buffer{name: name}
+	var rec [recordSize]byte
+	for i := 0; ; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if err == io.EOF {
+				return b, nil
+			}
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		flags := rec[20]
+		b.Append(Access{
+			PC:        binary.LittleEndian.Uint64(rec[0:]),
+			Addr:      arch.VAddr(binary.LittleEndian.Uint64(rec[8:])),
+			Gap:       binary.LittleEndian.Uint32(rec[16:]),
+			Write:     flags&recFlagWrite != 0,
+			Dependent: flags&recFlagDependent != 0,
+		})
+	}
+}

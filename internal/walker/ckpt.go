@@ -1,0 +1,43 @@
+package walker
+
+import "repro/internal/ckpt"
+
+// EncodeState serializes the walker's mutable state — each present PWC, the
+// activity counters and the metadata clock — for warm-state checkpointing.
+// The page table and fetch path are owned by the enclosing system and
+// serialized separately.
+func (w *Walker) EncodeState(cw *ckpt.Writer) {
+	cw.Mark("walker")
+	for _, c := range w.pwc {
+		cw.Bool(c != nil)
+		if c != nil {
+			c.EncodeState(cw)
+		}
+	}
+	cw.Binary(&w.stats)
+	cw.U64(w.tick)
+}
+
+// DecodeState restores state written by EncodeState into a walker built with
+// the identical configuration.
+func (w *Walker) DecodeState(cr *ckpt.Reader) error {
+	cr.Expect("walker")
+	for i, c := range w.pwc {
+		present := cr.Bool()
+		if cr.Err() != nil {
+			return cr.Err()
+		}
+		if present != (c != nil) {
+			cr.Failf("walker: checkpoint PWC%d presence does not match configuration", i+1)
+			return cr.Err()
+		}
+		if c != nil {
+			if err := c.DecodeState(cr); err != nil {
+				return err
+			}
+		}
+	}
+	cr.Binary(&w.stats)
+	w.tick = cr.U64()
+	return cr.Err()
+}

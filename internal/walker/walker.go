@@ -190,6 +190,31 @@ func (w *Walker) Walk(vpn arch.VPN) (Result, error) {
 	return Result{PFN: pfn, Latency: total, PTAccesses: n}, nil
 }
 
+// Clone deep-copies the walker for warm-state forking, rebinding it to the
+// forked system's page table and PTE-fetch path (both belong to the new
+// machine instance; the walker itself owns only the PWCs, its counters and
+// its clock). The steps scratch buffer is per-instance and starts empty.
+func (w *Walker) Clone(pt *pagetable.PageTable, fetch Fetch) (*Walker, error) {
+	if pt == nil {
+		return nil, fmt.Errorf("walker: clone needs a page table")
+	}
+	if fetch == nil {
+		return nil, fmt.Errorf("walker: clone needs a fetch callback")
+	}
+	n := &Walker{pt: pt, fetch: fetch, lat: w.lat, stats: w.stats, tick: w.tick}
+	for i, c := range w.pwc {
+		if c == nil {
+			continue
+		}
+		cc, err := c.Clone()
+		if err != nil {
+			return nil, err
+		}
+		n.pwc[i] = cc
+	}
+	return n, nil
+}
+
 // Stats returns a snapshot of walker counters.
 func (w *Walker) Stats() Stats { return w.stats }
 
