@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/exp"
@@ -64,22 +67,25 @@ func run() error {
 	}
 	var w trace.Workload
 	if *traceFile != "" {
+		// Open and validate the trace up front so a missing file or bad
+		// header fails the run through the normal error path. The replayer
+		// implements trace.ErrGenerator, so a truncated or mid-file-corrupt
+		// trace latches its error during replay and every drain path
+		// (Materialize, System.Run) surfaces it instead of silently
+		// repeating the last record.
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rp, err := trace.NewReplayer(f, true)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *traceFile, err)
+		}
 		w = trace.Workload{
 			Name:  "trace:" + *traceFile,
 			Suite: "recorded",
-			New: func(uint64) trace.Generator {
-				f, err := os.Open(*traceFile)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "deadsim:", err)
-					os.Exit(1)
-				}
-				rp, err := trace.NewReplayer(f, true)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "deadsim:", err)
-					os.Exit(1)
-				}
-				return rp
-			},
+			New:   func(uint64) trace.Generator { return rp },
 		}
 	} else {
 		var err error
@@ -153,7 +159,13 @@ func run() error {
 		return err
 	}
 
+	// SIGINT/SIGTERM cancel the simulation at its next stride check; the
+	// error path below still flushes any partial traces and metrics.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	r := exp.NewRunner(exp.Params{Warmup: *warmup, Measure: *measure, Seed: *seed, SampleEvery: 20_000})
+	r.SetContext(ctx)
 	r.Observer = observer
 	var res sim.Result
 	if *ckptOut != "" || *ckptIn != "" {
@@ -163,11 +175,16 @@ func run() error {
 		if setup.Oracle {
 			return fmt.Errorf("the oracle's two-pass protocol cannot be checkpointed")
 		}
-		res, err = runWithCheckpoint(r, w, setup, *ckptOut, *ckptIn, *seed, *warmup, *measure)
+		res, err = runWithCheckpoint(ctx, r, w, setup, *ckptOut, *ckptIn, *seed, *warmup, *measure)
 	} else {
 		res, err = r.Run(w, setup)
 	}
 	if err != nil {
+		if ferr := finishObs(); ferr != nil {
+			fmt.Fprintln(os.Stderr, "deadsim: flushing partial results:", ferr)
+		} else if observer != nil {
+			fmt.Fprintln(os.Stderr, "deadsim: partial results flushed")
+		}
 		return err
 	}
 	if err := finishObs(); err != nil {
@@ -233,7 +250,7 @@ func run() error {
 // file. A restored run fast-forwards its generator by the checkpoint's
 // consumed-access count and is bit-identical to the cold run that produced
 // the checkpoint.
-func runWithCheckpoint(r *exp.Runner, w trace.Workload, setup exp.Setup, outPath, inPath string, seed, warmup, measure uint64) (sim.Result, error) {
+func runWithCheckpoint(ctx context.Context, r *exp.Runner, w trace.Workload, setup exp.Setup, outPath, inPath string, seed, warmup, measure uint64) (sim.Result, error) {
 	s, err := r.BuildSystem(setup)
 	if err != nil {
 		return sim.Result{}, err
@@ -253,12 +270,24 @@ func runWithCheckpoint(r *exp.Runner, w trace.Workload, setup exp.Setup, outPath
 			return sim.Result{}, fmt.Errorf("checkpoint %s was taken on workload %q, not %q", inPath, meta.Workload, w.Name)
 		}
 		// Splice the generator onto the stream position the checkpointed
-		// run had reached.
+		// run had reached. The fast-forward is pure generator work, so it
+		// honors cancellation and a replayed trace's latched errors just
+		// like a simulated prefix would.
 		for i := uint64(0); i < meta.Accesses; i++ {
+			if i%4096 == 0 {
+				select {
+				case <-ctx.Done():
+					return sim.Result{}, fmt.Errorf("fast-forwarding %s: %w", inPath, ctx.Err())
+				default:
+				}
+			}
 			g.Next()
 		}
+		if err := trace.GeneratorErr(g); err != nil {
+			return sim.Result{}, fmt.Errorf("fast-forwarding %s: %w", inPath, err)
+		}
 		fmt.Fprintf(os.Stderr, "deadsim: restored %s (%d warm accesses)\n", inPath, meta.Accesses)
-	} else if err := s.Run(g, warmup); err != nil {
+	} else if err := s.RunContext(ctx, g, warmup); err != nil {
 		return sim.Result{}, err
 	}
 	if outPath != "" {
@@ -284,7 +313,7 @@ func runWithCheckpoint(r *exp.Runner, w trace.Workload, setup exp.Setup, outPath
 		s.EnableCharacterization(20_000)
 	}
 	s.StartMeasurement()
-	if err := s.Run(g, measure); err != nil {
+	if err := s.RunContext(ctx, g, measure); err != nil {
 		return sim.Result{}, err
 	}
 	s.Finish()

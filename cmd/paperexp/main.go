@@ -22,11 +22,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/exp"
@@ -130,10 +133,22 @@ func run() error {
 		r.ProgressStart = func(w, s string) {
 			fmt.Fprintf(os.Stderr, "  simulating %s under %s\n", w, s)
 		}
-		r.ProgressDone = func(w, s string, elapsed time.Duration) {
+		r.ProgressDone = func(w, s string, elapsed time.Duration, err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "  FAILED     %s under %s after %v: %v\n", w, s, elapsed.Round(time.Millisecond), err)
+				return
+			}
 			fmt.Fprintf(os.Stderr, "  finished   %s under %s in %v\n", w, s, elapsed.Round(time.Millisecond))
 		}
 	}
+
+	// SIGINT/SIGTERM cancel the experiment grid: running simulations stop
+	// at their next stride check, queued cells never start, and the error
+	// path below flushes whatever traces and metrics were already
+	// collected before exiting nonzero.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	r.SetContext(ctx)
 
 	observer, finishObs, err := obs.FromFlags(*traceOut, *metricsOut, *interval)
 	if err != nil {
@@ -149,6 +164,18 @@ func run() error {
 	}
 	want := func(id string) bool { return len(selected) == 0 || selected[id] }
 
+	// failPartial flushes the observability sinks before surfacing an
+	// error, so an interrupted or failed grid still leaves analyzable
+	// partial traces and metrics behind.
+	failPartial := func(err error) error {
+		if ferr := finishObs(); ferr != nil {
+			fmt.Fprintln(os.Stderr, "paperexp: flushing partial results:", ferr)
+		} else {
+			fmt.Fprintln(os.Stderr, "paperexp: partial results flushed")
+		}
+		return err
+	}
+
 	start := time.Now()
 	for _, e := range experiments {
 		if !want(e.id) {
@@ -156,14 +183,14 @@ func run() error {
 		}
 		s, err := e.run(r)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.id, err)
+			return failPartial(fmt.Errorf("%s: %w", e.id, err))
 		}
 		fmt.Println(s.Format())
 	}
 	if want("storage") {
 		rep, err := exp.StorageOverheads()
 		if err != nil {
-			return err
+			return failPartial(err)
 		}
 		fmt.Println(rep.Format())
 	}

@@ -16,11 +16,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"repro/internal/trace"
 )
@@ -44,9 +47,14 @@ func run() error {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel a long recording; the partially written file
+	// stays on disk (its header names it) and the command exits nonzero.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	switch {
 	case *workload != "" && *out != "":
-		return record(*workload, *out, *n, *seed)
+		return record(ctx, *workload, *out, *n, *seed)
 	case *summary != "":
 		return summarize(*summary)
 	case *dump != "":
@@ -57,7 +65,7 @@ func run() error {
 	}
 }
 
-func record(name, path string, n, seed uint64) error {
+func record(ctx context.Context, name, path string, n, seed uint64) error {
 	w, err := trace.ByName(name)
 	if err != nil {
 		return err
@@ -70,9 +78,12 @@ func record(name, path string, n, seed uint64) error {
 	if strings.HasSuffix(path, ".dpbf") {
 		// Struct-of-arrays buffer dump: the runner's materialized cache
 		// format, denser than the DPTR record stream.
-		_, err = trace.Materialize(w.New(seed), n).WriteTo(f)
+		var b *trace.Buffer
+		if b, err = trace.MaterializeContext(ctx, w.New(seed), n); err == nil {
+			_, err = b.WriteTo(f)
+		}
 	} else {
-		err = trace.Record(f, w.New(seed), n)
+		err = trace.RecordContext(ctx, f, w.New(seed), n)
 	}
 	if err != nil {
 		return err
@@ -110,8 +121,8 @@ func inspect(path string, n uint64, csv bool) error {
 	)
 	for i := uint64(0); i < n; i++ {
 		a := rp.Next()
-		if rp.Err != nil {
-			return rp.Err
+		if err := rp.Err(); err != nil {
+			return err
 		}
 		if csv {
 			fmt.Printf("%#x,%#x,%d,%t,%t\n", a.PC, uint64(a.Addr), a.Gap, a.Write, a.Dependent)

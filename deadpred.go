@@ -66,6 +66,9 @@ type (
 	Access = trace.Access
 	// Generator produces an unbounded deterministic access stream.
 	Generator = trace.Generator
+	// ErrGenerator is a Generator that latches mid-stream failures
+	// (e.g. a Replayer over a truncated trace); check Err after draining.
+	ErrGenerator = trace.ErrGenerator
 	// MixSpec declares a custom workload as a weighted mix of streams.
 	MixSpec = trace.MixSpec
 	// StreamSpec is one stream of a MixSpec.

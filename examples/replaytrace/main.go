@@ -73,8 +73,8 @@ func main() {
 		if err := sys.Run(gen, n/2); err != nil {
 			log.Fatal(err)
 		}
-		if gen.Err != nil {
-			log.Fatal(gen.Err)
+		if err := gen.Err(); err != nil {
+			log.Fatal(err)
 		}
 		res := sys.Result()
 		fmt.Printf("%s  IPC %.4f  LLT MPKI %7.2f  walks %d\n",

@@ -1,0 +1,72 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/faultio"
+)
+
+// TestWriterLatchesFullDisk: the codec must latch a sink that fills up and
+// report it from Flush, with every later write a no-op.
+func TestWriterLatchesFullDisk(t *testing.T) {
+	w := NewWriter(faultio.NewFailingWriter(nil, 16, nil))
+	for i := 0; i < 100; i++ {
+		w.U64(uint64(i)) // 800 bytes into a 16-byte sink
+	}
+	if err := w.Flush(); !errors.Is(err, faultio.ErrNoSpace) {
+		t.Fatalf("Flush err = %v, want wrapped faultio.ErrNoSpace", err)
+	}
+}
+
+// TestReaderLatchesInjectedFaults: truncation and mid-read errors must
+// latch on the first failing primitive and stick.
+func TestReaderLatchesInjectedFaults(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(1)
+	w.U64(2)
+	w.String("hello")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		r := NewReader(faultio.Truncate(bytes.NewReader(raw), 12))
+		r.U64()
+		if err := r.Err(); err != nil {
+			t.Fatalf("first full value errored: %v", err)
+		}
+		r.U64() // spans the cut
+		if r.Err() == nil {
+			t.Fatal("read past truncation succeeded")
+		}
+		first := r.Err()
+		r.U64()
+		if r.Err() != first {
+			t.Errorf("latched error replaced: %v -> %v", first, r.Err())
+		}
+	})
+	t.Run("mid-read error", func(t *testing.T) {
+		r := NewReader(faultio.NewFailingReader(bytes.NewReader(raw), 8, nil))
+		r.U64()
+		r.U64()
+		if !errors.Is(r.Err(), faultio.ErrInjected) {
+			t.Fatalf("Err = %v, want wrapped faultio.ErrInjected", r.Err())
+		}
+	})
+	t.Run("flaky source", func(t *testing.T) {
+		// bufio fills its buffer in one large read; the second Read call
+		// fails, which must latch (the codec does not retry transient
+		// errors — checkpoint sources are files, not sockets).
+		r := NewReader(faultio.NewFlakyReader(bytes.NewReader(raw), 2, nil))
+		for i := 0; i < 64; i++ {
+			r.U64()
+		}
+		if r.Err() == nil {
+			t.Skip("source delivered everything before the injected failure")
+		}
+	})
+}

@@ -17,10 +17,13 @@ func TestRunMemoizes(t *testing.T) {
 	r := NewRunner(QuickParams())
 	starts, dones := 0, 0
 	r.ProgressStart = func(string, string) { starts++ }
-	r.ProgressDone = func(_, _ string, elapsed time.Duration) {
+	r.ProgressDone = func(_, _ string, elapsed time.Duration, err error) {
 		dones++
 		if elapsed <= 0 {
 			t.Errorf("ProgressDone elapsed = %v, want > 0", elapsed)
+		}
+		if err != nil {
+			t.Errorf("ProgressDone err = %v, want nil", err)
 		}
 	}
 	w, err := trace.ByName("cc")

@@ -5,8 +5,12 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
@@ -95,6 +99,17 @@ type Runner struct {
 	jobs   int
 	sem    chan struct{} // worker-pool slots, capacity jobs
 
+	// ctx is the base context Run and RunGrid execute under (SetContext);
+	// nil means context.Background(). The explicit-context entry points
+	// RunContext/RunGridContext take precedence over it.
+	ctx context.Context
+
+	// FailFast makes RunGrid cancel the remaining cells as soon as one
+	// cell fails with a real (non-cancellation) error. The default keeps
+	// going and aggregates every cell's error, which is what the paper
+	// grids want: one broken setup should not hide the other columns.
+	FailFast bool
+
 	mu   sync.Mutex
 	memo map[string]*memoEntry
 
@@ -115,8 +130,10 @@ type Runner struct {
 	// callbacks run concurrently from pool workers.
 	ProgressStart func(workload, setup string)
 	// ProgressDone, when set, is called as each uncached simulation
-	// finishes, with its wall-clock duration.
-	ProgressDone func(workload, setup string, elapsed time.Duration)
+	// finishes — on success and on failure alike — with its wall-clock
+	// duration and its error (nil on success). Progress displays use the
+	// error to mark failed cells instead of leaving them dangling.
+	ProgressDone func(workload, setup string, elapsed time.Duration, err error)
 	// Observer, when set, observes every simulated system: each run gets
 	// an isolated ForkRun scope labeled "workload/setup", joined back into
 	// this bundle when the run finishes.
@@ -184,75 +201,182 @@ func (r *Runner) SetJobs(n int) {
 // Jobs returns the worker-pool bound.
 func (r *Runner) Jobs() int { return r.jobs }
 
+// SetContext sets the base context Run and RunGrid execute under, so the
+// experiment functions (which call Run through the unchanged two-argument
+// signature) inherit cancellation without any signature change. nil
+// restores context.Background().
+func (r *Runner) SetContext(ctx context.Context) { r.ctx = ctx }
+
+// baseCtx returns the runner's base context.
+func (r *Runner) baseCtx() context.Context {
+	if r.ctx != nil {
+		return r.ctx
+	}
+	return context.Background()
+}
+
+// isCtxErr reports whether err is (or wraps) a context cancellation or
+// deadline error. Such errors describe the caller's abort, not the cell,
+// so the runner neither memoizes them nor aggregates them as failures.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Params returns the runner's parameters.
 func (r *Runner) Params() Params { return r.params }
 
 // Run simulates one workload under one setup (memoized, single-flight).
 // Concurrent callers asking for the same key block until the leader's
-// simulation finishes and then share its result; errors are memoized too.
+// simulation finishes and then share its result; errors are memoized too,
+// except cancellation errors, whose memo entries are evicted so a later
+// Run on the same runner re-simulates instead of replaying the abort.
 func (r *Runner) Run(w trace.Workload, setup Setup) (sim.Result, error) {
+	return r.RunContext(r.baseCtx(), w, setup)
+}
+
+// RunContext is Run under an explicit context. Cancellation unblocks both
+// leaders (between simulation strides) and waiters (immediately); a waiter
+// canceled while the leader keeps running does not disturb the memo.
+func (r *Runner) RunContext(ctx context.Context, w trace.Workload, setup Setup) (sim.Result, error) {
 	key := w.Name + "/" + setup.Name
 	r.mu.Lock()
 	if e, ok := r.memo[key]; ok {
 		r.mu.Unlock()
-		<-e.done
-		return e.res, e.err
+		select {
+		case <-e.done:
+			return e.res, e.err
+		case <-ctx.Done():
+			return sim.Result{}, fmt.Errorf("exp: %s under %s: %w", w.Name, setup.Name, ctx.Err())
+		}
 	}
 	e := &memoEntry{done: make(chan struct{})}
 	r.memo[key] = e
 	r.mu.Unlock()
 
-	r.sem <- struct{}{} // acquire a pool slot
-	if r.ProgressStart != nil {
-		r.ProgressStart(w.Name, setup.Name)
-	}
-	start := time.Now()
-	res, err := r.runUncached(w, setup)
-	if err != nil {
-		err = fmt.Errorf("exp: %s under %s: %w", w.Name, setup.Name, err)
-	} else if r.ProgressDone != nil {
-		r.ProgressDone(w.Name, setup.Name, time.Since(start))
-	}
-	<-r.sem // release the slot before waking waiters
-
+	res, err := r.lead(ctx, w, setup)
 	e.res, e.err = res, err
+	if isCtxErr(err) {
+		// Evict before waking waiters so no future caller latches onto a
+		// cancellation result; waiters already parked on e.done still see
+		// the error, which is correct — their grid was canceled too.
+		r.mu.Lock()
+		delete(r.memo, key)
+		r.mu.Unlock()
+	}
 	close(e.done)
 	return res, err
 }
 
+// lead executes one uncached cell as the memo leader: acquire a pool slot
+// (abandoning the wait if ctx is canceled first), report progress, run the
+// cell with panic containment, and report completion with the outcome.
+func (r *Runner) lead(ctx context.Context, w trace.Workload, setup Setup) (sim.Result, error) {
+	select {
+	case r.sem <- struct{}{}: // acquire a pool slot
+	case <-ctx.Done():
+		return sim.Result{}, fmt.Errorf("exp: %s under %s: %w", w.Name, setup.Name, ctx.Err())
+	}
+	if r.ProgressStart != nil {
+		r.ProgressStart(w.Name, setup.Name)
+	}
+	start := time.Now()
+	res, err := r.runCell(ctx, w, setup)
+	if err != nil {
+		err = fmt.Errorf("exp: %s under %s: %w", w.Name, setup.Name, err)
+	}
+	if r.ProgressDone != nil {
+		r.ProgressDone(w.Name, setup.Name, time.Since(start), err)
+	}
+	<-r.sem // release the slot before waking waiters
+	return res, err
+}
+
+// runCell wraps runUncached with panic containment: a panicking Setup
+// constructor or predictor fails its own cell with a stack-carrying error
+// instead of tearing down the whole grid's worker pool.
+func (r *Runner) runCell(ctx context.Context, w trace.Workload, setup Setup) (res sim.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v\n%s", p, debug.Stack())
+		}
+	}()
+	return r.runUncached(ctx, w, setup)
+}
+
 // RunGrid simulates the full workload × setup cross product, sharding the
-// uncached runs across the worker pool, and returns the first error. All
-// results land in the memo, so callers aggregate afterwards by replaying
-// Run in whatever fixed order the report needs — aggregation order is
-// completely decoupled from completion order.
+// uncached runs across the worker pool. Unlike a first-error-wins scheme,
+// every failing cell's error is collected and returned joined (sorted for
+// determinism), so one broken setup cannot hide another; with FailFast set
+// the first real failure cancels the cells still queued. All results land
+// in the memo, so callers aggregate afterwards by replaying Run in
+// whatever fixed order the report needs — aggregation order is completely
+// decoupled from completion order.
 func (r *Runner) RunGrid(workloads []trace.Workload, setups []Setup) error {
+	return r.RunGridContext(r.baseCtx(), workloads, setups)
+}
+
+// RunGridContext is RunGrid under an explicit context. Canceling ctx stops
+// the grid promptly: running cells stop at their next stride check, queued
+// cells never start, and the returned error wraps ctx's error with the
+// number of unfinished cells.
+func (r *Runner) RunGridContext(ctx context.Context, workloads []trace.Workload, setups []Setup) error {
+	gctx := ctx
+	var cancel context.CancelFunc
+	if r.FailFast {
+		gctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
 	var wg sync.WaitGroup
-	var errMu sync.Mutex
-	var firstErr error
+	var mu sync.Mutex
+	var errs []error
+	canceled := 0
 	for _, w := range workloads {
 		for _, su := range setups {
 			wg.Add(1)
 			go func(w trace.Workload, su Setup) {
 				defer wg.Done()
-				if _, err := r.Run(w, su); err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
+				_, err := r.RunContext(gctx, w, su)
+				if err == nil {
+					return
 				}
+				mu.Lock()
+				if isCtxErr(err) {
+					canceled++
+				} else {
+					errs = append(errs, err)
+					if cancel != nil {
+						cancel()
+					}
+				}
+				mu.Unlock()
 			}(w, su)
 		}
 	}
 	wg.Wait()
-	return firstErr
+	if len(errs) > 0 {
+		// Completion order is nondeterministic; sort so the aggregate
+		// error reads identically run to run.
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		if canceled > 0 {
+			errs = append(errs, fmt.Errorf("exp: fail-fast canceled %d queued cells", canceled))
+		}
+		return errors.Join(errs...)
+	}
+	if canceled > 0 {
+		cause := ctx.Err()
+		if cause == nil {
+			cause = context.Canceled
+		}
+		return fmt.Errorf("exp: grid canceled (%d cells unfinished): %w", canceled, cause)
+	}
+	return nil
 }
 
 // generator returns a fresh start-positioned view over the workload's
 // materialized trace buffer. The buffer itself is built once per workload
 // (single-flight, covering warmup+measure) and shared read-only afterwards;
 // callers each get an independent cursor.
-func (r *Runner) generator(w trace.Workload) (*trace.BufferReader, error) {
+func (r *Runner) generator(ctx context.Context, w trace.Workload) (*trace.BufferReader, error) {
 	r.bufMu.Lock()
 	e, ok := r.bufMemo[w.Name]
 	if !ok {
@@ -262,15 +386,26 @@ func (r *Runner) generator(w trace.Workload) (*trace.BufferReader, error) {
 		func() {
 			defer func() {
 				if p := recover(); p != nil {
-					e.err = fmt.Errorf("exp: materializing %s: %v", w.Name, p)
+					e.err = fmt.Errorf("exp: materializing %s: %v\n%s", w.Name, p, debug.Stack())
+				}
+				if isCtxErr(e.err) {
+					// A canceled materialization must not poison the
+					// buffer memo; evict so the next grid rebuilds it.
+					r.bufMu.Lock()
+					delete(r.bufMemo, w.Name)
+					r.bufMu.Unlock()
 				}
 				close(e.done)
 			}()
-			e.buf = trace.Materialize(w.New(r.params.Seed), r.params.Warmup+r.params.Measure)
+			e.buf, e.err = trace.MaterializeContext(ctx, w.New(r.params.Seed), r.params.Warmup+r.params.Measure)
 		}()
 	} else {
 		r.bufMu.Unlock()
-		<-e.done
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	if e.err != nil {
 		return nil, e.err
@@ -322,7 +457,7 @@ func (r *Runner) BuildSystem(setup Setup) (*sim.System, error) {
 // measure runs the post-warmup half of a cell: enable the setup's
 // instrumentation, mark the measurement region, feed the measured accesses
 // and collect the result.
-func (r *Runner) measure(s *sim.System, g trace.Generator, setup Setup) (sim.Result, error) {
+func (r *Runner) measure(ctx context.Context, s *sim.System, g trace.Generator, setup Setup) (sim.Result, error) {
 	if setup.Instrument.Accuracy {
 		if err := s.EnableAccuracyTracking(); err != nil {
 			return sim.Result{}, err
@@ -332,7 +467,7 @@ func (r *Runner) measure(s *sim.System, g trace.Generator, setup Setup) (sim.Res
 		s.EnableCharacterization(r.params.SampleEvery)
 	}
 	s.StartMeasurement()
-	if err := s.Run(g, r.params.Measure); err != nil {
+	if err := s.RunContext(ctx, g, r.params.Measure); err != nil {
 		return sim.Result{}, err
 	}
 	s.Finish()
@@ -353,7 +488,7 @@ func (r *Runner) warmShareable(setup Setup) bool {
 // on its own fork. ok=false means the path was unavailable (fork refused or
 // budget spent) and the caller should fall back to the cold path; errors
 // from building or warming the shared machine are real and propagate.
-func (r *Runner) runShared(w trace.Workload, setup Setup) (res sim.Result, ok bool, err error) {
+func (r *Runner) runShared(ctx context.Context, w trace.Workload, setup Setup) (res sim.Result, ok bool, err error) {
 	key := w.Name + "\x00" + setup.WarmupKey
 	r.warmMu.Lock()
 	e, cached := r.warmMemo[key]
@@ -362,18 +497,27 @@ func (r *Runner) runShared(w trace.Workload, setup Setup) (res sim.Result, ok bo
 		r.warmMemo[key] = e
 		r.warmMu.Unlock()
 		func() {
-			defer close(e.done)
+			defer func() {
+				if isCtxErr(e.err) {
+					// Same eviction rule as the other memos: a canceled
+					// warmup must not poison future grids.
+					r.warmMu.Lock()
+					delete(r.warmMemo, key)
+					r.warmMu.Unlock()
+				}
+				close(e.done)
+			}()
 			sys, err := r.BuildSystem(setup)
 			if err != nil {
 				e.err = err
 				return
 			}
-			rd, err := r.generator(w)
+			rd, err := r.generator(ctx, w)
 			if err != nil {
 				e.err = err
 				return
 			}
-			if err := sys.Run(rd, r.params.Warmup); err != nil {
+			if err := sys.RunContext(ctx, rd, r.params.Warmup); err != nil {
 				e.err = err
 				return
 			}
@@ -381,7 +525,11 @@ func (r *Runner) runShared(w trace.Workload, setup Setup) (res sim.Result, ok bo
 		}()
 	} else {
 		r.warmMu.Unlock()
-		<-e.done
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return sim.Result{}, true, ctx.Err()
+		}
 	}
 	if e.err != nil {
 		return sim.Result{}, true, e.err
@@ -408,13 +556,13 @@ func (r *Runner) runShared(w trace.Workload, setup Setup) (res sim.Result, ok bo
 		return sim.Result{}, false, nil // unforkable machine: cold path
 	}
 
-	res, err = r.measure(fork, buf.ReaderAt(pos), setup)
+	res, err = r.measure(ctx, fork, buf.ReaderAt(pos), setup)
 	return res, true, err
 }
 
-func (r *Runner) runUncached(w trace.Workload, setup Setup) (sim.Result, error) {
+func (r *Runner) runUncached(ctx context.Context, w trace.Workload, setup Setup) (sim.Result, error) {
 	if r.warmShareable(setup) {
-		if res, ok, err := r.runShared(w, setup); ok {
+		if res, ok, err := r.runShared(ctx, w, setup); ok {
 			return res, err
 		}
 	}
@@ -427,7 +575,7 @@ func (r *Runner) runUncached(w trace.Workload, setup Setup) (sim.Result, error) 
 	var record *pred.DOARecord
 	if setup.Oracle {
 		// Recording pass: baseline machine, ground-truth capture.
-		rec, err := r.recordPass(w, cfgFn)
+		rec, err := r.recordPass(ctx, w, cfgFn)
 		if err != nil {
 			return sim.Result{}, err
 		}
@@ -475,19 +623,19 @@ func (r *Runner) runUncached(w trace.Workload, setup Setup) (sim.Result, error) 
 		s.AttachObserver(child)
 	}
 
-	g, err := r.generator(w)
+	g, err := r.generator(ctx, w)
 	if err != nil {
 		return sim.Result{}, err
 	}
-	if err := s.Run(g, r.params.Warmup); err != nil {
+	if err := s.RunContext(ctx, g, r.params.Warmup); err != nil {
 		return sim.Result{}, err
 	}
-	return r.measure(s, g, setup)
+	return r.measure(ctx, s, g, setup)
 }
 
 // recordPass runs the baseline machine over the same trace to capture
 // ground-truth DOA outcomes for the oracle.
-func (r *Runner) recordPass(w trace.Workload, cfgFn func() sim.Config) (*pred.DOARecord, error) {
+func (r *Runner) recordPass(ctx context.Context, w trace.Workload, cfgFn func() sim.Config) (*pred.DOARecord, error) {
 	cfg := cfgFn()
 	cfg.Seed = r.params.Seed
 	s, err := sim.New(cfg)
@@ -496,11 +644,11 @@ func (r *Runner) recordPass(w trace.Workload, cfgFn func() sim.Config) (*pred.DO
 	}
 	rec := pred.NewDOARecord()
 	s.SetTLBPredictor(pred.NewRecorderTLB(rec))
-	g, err := r.generator(w)
+	g, err := r.generator(ctx, w)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.Run(g, r.params.Warmup+r.params.Measure); err != nil {
+	if err := s.RunContext(ctx, g, r.params.Warmup+r.params.Measure); err != nil {
 		return nil, err
 	}
 	return rec, nil

@@ -1,0 +1,161 @@
+// Package faultio provides deterministic fault-injecting io.Reader and
+// io.Writer wrappers for exercising error paths: truncated or corrupted
+// trace files, checkpoints that die mid-read, metric sinks on a full disk.
+// Every wrapper is purely deterministic — failures trigger at byte offsets
+// or call counts chosen by the test — so failure-path tests are as
+// reproducible as the happy-path ones.
+package faultio
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the default error returned by failing wrappers.
+var ErrInjected = errors.New("faultio: injected fault")
+
+// ErrNoSpace mimics a full disk; FailingWriter returns it by default.
+var ErrNoSpace = errors.New("faultio: no space left on device")
+
+// FailingReader yields the underlying reader's bytes until failAfter bytes
+// have been delivered, then returns err on every subsequent call. Unlike a
+// truncation (io.LimitReader, which ends in a clean EOF), a FailingReader
+// models a read that dies mid-stream: a disappearing NFS mount, a closed
+// pipe, an I/O error.
+type FailingReader struct {
+	r         io.Reader
+	remaining int64
+	err       error
+}
+
+// NewFailingReader wraps r to fail with err after failAfter bytes. A nil
+// err selects ErrInjected.
+func NewFailingReader(r io.Reader, failAfter int64, err error) *FailingReader {
+	if err == nil {
+		err = ErrInjected
+	}
+	return &FailingReader{r: r, remaining: failAfter, err: err}
+}
+
+// Read implements io.Reader.
+func (f *FailingReader) Read(p []byte) (int, error) {
+	if f.remaining <= 0 {
+		return 0, f.err
+	}
+	if int64(len(p)) > f.remaining {
+		p = p[:f.remaining]
+	}
+	n, err := f.r.Read(p)
+	f.remaining -= int64(n)
+	if err == io.EOF {
+		// The underlying data ran out before the fault point; pass the
+		// EOF through so short sources still terminate.
+		return n, err
+	}
+	if f.remaining <= 0 && err == nil {
+		// Deliver the last good bytes now; the next call fails.
+		return n, nil
+	}
+	return n, err
+}
+
+// Truncate returns a reader that delivers only the first n bytes of r and
+// then reports a clean EOF — a file cut off at byte n, e.g. by a crashed
+// writer or a partial copy.
+func Truncate(r io.Reader, n int64) io.Reader { return io.LimitReader(r, n) }
+
+// FlakyReader fails every failEvery-th Read call with a transient error but
+// continues delivering data on the calls in between — a source that needs
+// retries. failEvery <= 0 never fails.
+type FlakyReader struct {
+	r         io.Reader
+	failEvery int
+	calls     int
+	err       error
+}
+
+// NewFlakyReader wraps r to fail every failEvery-th call with err (nil
+// selects ErrInjected).
+func NewFlakyReader(r io.Reader, failEvery int, err error) *FlakyReader {
+	if err == nil {
+		err = ErrInjected
+	}
+	return &FlakyReader{r: r, failEvery: failEvery, err: err}
+}
+
+// Read implements io.Reader.
+func (f *FlakyReader) Read(p []byte) (int, error) {
+	f.calls++
+	if f.failEvery > 0 && f.calls%f.failEvery == 0 {
+		return 0, f.err
+	}
+	return f.r.Read(p)
+}
+
+// FailingWriter accepts up to capacity bytes and then fails with err — a
+// disk that fills up mid-write. Accepted bytes are forwarded to w when w is
+// non-nil and discarded otherwise.
+type FailingWriter struct {
+	w         io.Writer
+	remaining int64
+	err       error
+}
+
+// NewFailingWriter wraps w (which may be nil to discard) to fail with err
+// after capacity bytes. A nil err selects ErrNoSpace.
+func NewFailingWriter(w io.Writer, capacity int64, err error) *FailingWriter {
+	if err == nil {
+		err = ErrNoSpace
+	}
+	return &FailingWriter{w: w, remaining: capacity, err: err}
+}
+
+// Write implements io.Writer. A write that crosses the capacity boundary
+// is accepted partially, exactly like a real full disk.
+func (f *FailingWriter) Write(p []byte) (int, error) {
+	if f.remaining <= 0 {
+		return 0, f.err
+	}
+	n := len(p)
+	short := false
+	if int64(n) > f.remaining {
+		n, short = int(f.remaining), true
+	}
+	if f.w != nil {
+		m, err := f.w.Write(p[:n])
+		f.remaining -= int64(m)
+		if err != nil {
+			return m, err
+		}
+	} else {
+		f.remaining -= int64(n)
+	}
+	if short {
+		return n, f.err
+	}
+	return n, nil
+}
+
+// CorruptReader flips the bits of the byte at offset (0-based) in the
+// stream read through it, leaving everything else untouched — a single
+// corrupted byte in an otherwise well-formed file.
+type CorruptReader struct {
+	r      io.Reader
+	offset int64
+	pos    int64
+}
+
+// NewCorruptReader wraps r to corrupt the byte at offset.
+func NewCorruptReader(r io.Reader, offset int64) *CorruptReader {
+	return &CorruptReader{r: r, offset: offset}
+}
+
+// Read implements io.Reader.
+func (c *CorruptReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if i := c.offset - c.pos; i >= 0 && i < int64(n) {
+		p[i] ^= 0xFF
+	}
+	c.pos += int64(n)
+	return n, err
+}

@@ -1,0 +1,112 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFailingReaderFailsAtOffset(t *testing.T) {
+	src := strings.NewReader("0123456789")
+	r := NewFailingReader(src, 4, nil)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if string(got) != "0123" {
+		t.Fatalf("delivered %q before failing, want %q", got, "0123")
+	}
+	// The failure must be sticky.
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second read err = %v, want ErrInjected", err)
+	}
+}
+
+func TestFailingReaderPassesThroughShortSource(t *testing.T) {
+	r := NewFailingReader(strings.NewReader("ab"), 100, nil)
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "ab" {
+		t.Fatalf("ReadAll = (%q, %v), want (ab, nil)", got, err)
+	}
+}
+
+func TestTruncateEndsWithCleanEOF(t *testing.T) {
+	got, err := io.ReadAll(Truncate(strings.NewReader("0123456789"), 3))
+	if err != nil || string(got) != "012" {
+		t.Fatalf("ReadAll = (%q, %v), want (012, nil)", got, err)
+	}
+}
+
+func TestFlakyReaderFailsIntermittently(t *testing.T) {
+	boom := errors.New("transient")
+	r := NewFlakyReader(strings.NewReader("abcdef"), 2, boom)
+	buf := make([]byte, 1)
+	var out []byte
+	fails := 0
+	for i := 0; i < 12; i++ {
+		n, err := r.Read(buf)
+		if errors.Is(err, boom) {
+			fails++
+			continue
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, buf[:n]...)
+	}
+	if string(out) != "abcdef" {
+		t.Fatalf("recovered %q across retries, want abcdef", out)
+	}
+	if fails == 0 {
+		t.Fatal("no injected failures observed")
+	}
+}
+
+func TestFailingWriterFillsUp(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewFailingWriter(&sink, 5, nil)
+	n, err := w.Write([]byte("0123"))
+	if n != 4 || err != nil {
+		t.Fatalf("first write = (%d, %v), want (4, nil)", n, err)
+	}
+	// Crossing the boundary: partial acceptance plus the error.
+	n, err = w.Write([]byte("4567"))
+	if n != 1 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("boundary write = (%d, %v), want (1, ErrNoSpace)", n, err)
+	}
+	if sink.String() != "01234" {
+		t.Fatalf("sink holds %q, want %q", sink.String(), "01234")
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("post-full write err = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestFailingWriterDiscardsWithoutSink(t *testing.T) {
+	w := NewFailingWriter(nil, 2, nil)
+	if n, err := w.Write([]byte("ab")); n != 2 || err != nil {
+		t.Fatalf("write = (%d, %v), want (2, nil)", n, err)
+	}
+	if _, err := w.Write([]byte("c")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestCorruptReaderFlipsOneByte(t *testing.T) {
+	src := []byte("hello world")
+	r := NewCorruptReader(bytes.NewReader(src), 6)
+	got, err := io.ReadAll(io.MultiReader(io.LimitReader(r, 3), r)) // split reads
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), src...)
+	want[6] ^= 0xFF
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faultio"
+)
+
+// metricsObserver builds an observer holding enough state that its JSON
+// document exceeds a small sink capacity.
+func metricsObserver() *Observer {
+	o := &Observer{Metrics: NewRegistry(), Interval: NewIntervalRecorder(10)}
+	o.Metrics.Counter("events").Add(3)
+	o.Interval.SetRun("run")
+	for i := 0; i < 8; i++ {
+		o.Interval.Add(IntervalSample{Access: uint64(i * 10)})
+	}
+	return o
+}
+
+// TestWriteMetricsJSONFullDisk: a metrics sink that fills up mid-document
+// (full disk at flush time) must surface the write error to the caller
+// instead of reporting a successful flush over a truncated JSON file.
+func TestWriteMetricsJSONFullDisk(t *testing.T) {
+	err := metricsObserver().WriteMetricsJSON(faultio.NewFailingWriter(nil, 64, nil))
+	if !errors.Is(err, faultio.ErrNoSpace) {
+		t.Fatalf("err = %v, want wrapped faultio.ErrNoSpace", err)
+	}
+}
+
+// TestWriteMetricsJSONHealthySink is the control: the same document on an
+// uncapped sink must succeed.
+func TestWriteMetricsJSONHealthySink(t *testing.T) {
+	if err := metricsObserver().WriteMetricsJSON(faultio.NewFailingWriter(nil, 1<<20, nil)); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+}

@@ -31,7 +31,10 @@ func warmSystem(t testing.TB, warm uint64) (*System, *trace.Buffer, uint64) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	buf := trace.Materialize(w.New(42), warm+400_000)
+	buf, err := trace.Materialize(w.New(42), warm+400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rd := buf.Reader()
 	if err := s.Run(rd, warm); err != nil {
 		t.Fatal(err)

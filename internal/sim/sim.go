@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -300,12 +301,45 @@ func (s *System) Step(a trace.Access) error {
 	return nil
 }
 
-// Run feeds n accesses from the generator.
+// Run feeds n accesses from the generator. A generator that latches an
+// error mid-stream (trace.ErrGenerator) fails the run rather than feeding
+// the simulator its repeated final access.
 func (s *System) Run(g trace.Generator, n uint64) error {
-	for i := uint64(0); i < n; i++ {
-		if err := s.Step(g.Next()); err != nil {
-			return fmt.Errorf("sim: access %d: %w", i, err)
+	return s.RunContext(context.Background(), g, n)
+}
+
+// ctxCheckStride is how many accesses RunContext simulates between context
+// checks. It is a power of two so the check compiles to a mask, and coarse
+// enough to be invisible next to the per-access simulation work.
+const ctxCheckStride = 4096
+
+// RunContext is Run with cancellation: the access loop checks ctx on a
+// coarse stride and stops with ctx's error when it is canceled. A
+// background (uncancelable) context takes a separate loop with no check at
+// all, so the hot path pays nothing for the capability.
+func (s *System) RunContext(ctx context.Context, g trace.Generator, n uint64) error {
+	if done := ctx.Done(); done != nil {
+		for i := uint64(0); i < n; i++ {
+			if i&(ctxCheckStride-1) == 0 {
+				select {
+				case <-done:
+					return fmt.Errorf("sim: canceled at access %d of %d: %w", i, n, ctx.Err())
+				default:
+				}
+			}
+			if err := s.Step(g.Next()); err != nil {
+				return fmt.Errorf("sim: access %d: %w", i, err)
+			}
 		}
+	} else {
+		for i := uint64(0); i < n; i++ {
+			if err := s.Step(g.Next()); err != nil {
+				return fmt.Errorf("sim: access %d: %w", i, err)
+			}
+		}
+	}
+	if err := trace.GeneratorErr(g); err != nil {
+		return fmt.Errorf("sim: after %d accesses: %w", n, err)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -47,13 +48,33 @@ func NewBuffer(name string, n int) *Buffer {
 
 // Materialize drains n accesses from the generator into a new buffer.
 // The buffer replays bit-identically to the live stream: Materialize
-// consumes the generator exactly as a simulation would.
-func Materialize(g Generator, n uint64) *Buffer {
+// consumes the generator exactly as a simulation would. A source that
+// latches an error mid-stream (ErrGenerator) fails the materialization
+// rather than yielding a buffer padded with its repeated final access.
+func Materialize(g Generator, n uint64) (*Buffer, error) {
+	return MaterializeContext(context.Background(), g, n)
+}
+
+// MaterializeContext is Materialize with cancellation: the drain loop
+// checks ctx on a coarse stride and stops with ctx's error when canceled.
+func MaterializeContext(ctx context.Context, g Generator, n uint64) (*Buffer, error) {
 	b := NewBuffer(g.Name(), int(n))
+	done := ctx.Done()
 	for i := uint64(0); i < n; i++ {
+		if done != nil && i%ctxCheckStride == 0 {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("trace: materializing %s canceled at access %d of %d: %w",
+					g.Name(), i, n, ctx.Err())
+			default:
+			}
+		}
 		b.Append(g.Next())
 	}
-	return b
+	if err := GeneratorErr(g); err != nil {
+		return nil, fmt.Errorf("trace: materializing %s: %w", g.Name(), err)
+	}
+	return b, nil
 }
 
 // Name returns the workload name carried with the buffer.
@@ -104,10 +125,19 @@ func (b *Buffer) ReaderAt(pos uint64) *BufferReader {
 // BufferReader is a positioned Generator over a shared read-only Buffer.
 // Forking a reader costs one small allocation, which is what lets a warmed
 // simulation and its clones resume the same stream independently.
+//
+// BufferReader implements ErrGenerator: the buffer itself is immutable and
+// cannot fail, but reading from an empty buffer latches errEmptyTrace so a
+// drain loop over a degenerate buffer fails loudly instead of producing a
+// stream of zero-valued accesses.
 type BufferReader struct {
 	buf *Buffer
 	pos uint64
+	err error
 }
+
+// Err implements ErrGenerator.
+func (r *BufferReader) Err() error { return r.err }
 
 // Name implements Generator.
 func (r *BufferReader) Name() string { return r.buf.name }
@@ -123,6 +153,7 @@ func (r *BufferReader) Buffer() *Buffer { return r.buf }
 func (r *BufferReader) Next() Access {
 	if r.pos >= r.buf.Len() {
 		if r.buf.Len() == 0 {
+			r.err = errEmptyTrace
 			return Access{}
 		}
 		r.pos = 0

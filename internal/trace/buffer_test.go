@@ -16,7 +16,7 @@ func TestMaterializeMatchesLive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := Materialize(w.New(7), n)
+	b := mustMaterialize(t, w.New(7), n)
 	if b.Len() != n {
 		t.Fatalf("Len = %d, want %d", b.Len(), n)
 	}
@@ -60,7 +60,7 @@ func TestBufferCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	in := Materialize(w.New(3), 5_000)
+	in := mustMaterialize(t, w.New(3), 5_000)
 	var buf bytes.Buffer
 	n, err := in.WriteTo(&buf)
 	if err != nil {
@@ -87,7 +87,7 @@ func TestBufferCodecRoundTrip(t *testing.T) {
 // over-allocate.
 func TestBufferCodecRejects(t *testing.T) {
 	var good bytes.Buffer
-	if _, err := Materialize(mustByName(t, "cc").New(1), 16).WriteTo(&good); err != nil {
+	if _, err := mustMaterialize(t, mustByName(t, "cc").New(1), 16).WriteTo(&good); err != nil {
 		t.Fatal(err)
 	}
 	cases := map[string][]byte{
@@ -164,7 +164,7 @@ func TestMixGenFork(t *testing.T) {
 func TestReadTraceSniffsBothFormats(t *testing.T) {
 	w := mustByName(t, "cc")
 	const n = 2_000
-	want := Materialize(w.New(5), n)
+	want := mustMaterialize(t, w.New(5), n)
 
 	var dptr, dpbf bytes.Buffer
 	if err := Record(&dptr, w.New(5), n); err != nil {
@@ -203,6 +203,15 @@ func mustByName(t testing.TB, name string) Workload {
 	return w
 }
 
+func mustMaterialize(t testing.TB, g Generator, n uint64) *Buffer {
+	t.Helper()
+	b, err := Materialize(g, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
 // BenchmarkMaterialize prices building a buffer from the live generator —
 // the once-per-workload cost the runner pays up front.
 func BenchmarkMaterialize(b *testing.B) {
@@ -211,7 +220,9 @@ func BenchmarkMaterialize(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Materialize(w.New(1), n)
+		if _, err := Materialize(w.New(1), n); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/access")
 }
@@ -219,7 +230,7 @@ func BenchmarkMaterialize(b *testing.B) {
 // BenchmarkBufferReplay prices reading one access back out of a shared
 // buffer — the per-access cost every consumer pays instead of regenerating.
 func BenchmarkBufferReplay(b *testing.B) {
-	rd := Materialize(mustByName(b, "cc").New(1), 100_000).Reader()
+	rd := mustMaterialize(b, mustByName(b, "cc").New(1), 100_000).Reader()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

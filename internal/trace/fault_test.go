@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/faultio"
+)
+
+// recordedTrace writes a small DPTR trace with a one-byte name, so record
+// i's flags byte sits at a computable offset: 11-byte header + i*24 + 20.
+func recordedTrace(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := tw.Write(Access{PC: uint64(i + 1), Addr: 0x1000, Gap: 1, Write: i%2 == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+const (
+	testHdrLen   = 4 + 6 + 1 // magic + version/flags/namelen + name "x"
+	testFlagsOff = 20
+	testPadOff   = 21
+)
+
+// TestReplayerLatchesTruncatedRecord: a trace cut mid-record (crashed
+// writer, partial copy) must latch a truncation error instead of silently
+// repeating the last good access.
+func TestReplayerLatchesTruncatedRecord(t *testing.T) {
+	raw := recordedTrace(t, 4)
+	cut := int64(testHdrLen + 2*recordSize + 7) // record 2 ends mid-record
+	rp, err := NewReplayer(faultio.Truncate(bytes.NewReader(raw), cut), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		rp.Next()
+	}
+	err = rp.Err()
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("Err() = %v, want a record-2 truncation error", err)
+	}
+	if !strings.Contains(err.Error(), "record 2") {
+		t.Errorf("Err() = %v, want the failing record index (2)", err)
+	}
+}
+
+// TestReplayerLatchesMidStreamReadError: an I/O error mid-stream (dying
+// mount, closed pipe) must latch, stick, and stop advancing the stream.
+func TestReplayerLatchesMidStreamReadError(t *testing.T) {
+	raw := recordedTrace(t, 4)
+	fail := int64(testHdrLen + recordSize) // record 0 readable, record 1 dies
+	rp, err := NewReplayer(faultio.NewFailingReader(bytes.NewReader(raw), fail, nil), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rp.Next()
+	if err := rp.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := rp.Next()
+	if !errors.Is(rp.Err(), faultio.ErrInjected) {
+		t.Fatalf("Err() = %v, want wrapped faultio.ErrInjected", rp.Err())
+	}
+	if got != first {
+		t.Errorf("post-error Next() = %+v, want last good access %+v", got, first)
+	}
+}
+
+// TestReplayerRejectsReservedFlagBits: flipped bits in a record's flags
+// byte (bits 2..7 are reserved) must latch a validation error.
+func TestReplayerRejectsReservedFlagBits(t *testing.T) {
+	raw := recordedTrace(t, 3)
+	off := int64(testHdrLen + recordSize + testFlagsOff)
+	rp, err := NewReplayer(faultio.NewCorruptReader(bytes.NewReader(raw), off), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.Next() // record 0 fine
+	rp.Next() // record 1 corrupt
+	err = rp.Err()
+	if err == nil || !strings.Contains(err.Error(), "reserved record flag bits") {
+		t.Fatalf("Err() = %v, want reserved-flag-bits rejection", err)
+	}
+}
+
+// TestReplayerRejectsNonzeroPad: a corrupted pad byte means the record is
+// not one this version wrote; both readers must reject it.
+func TestReplayerRejectsNonzeroPad(t *testing.T) {
+	raw := recordedTrace(t, 3)
+	off := int64(testHdrLen + recordSize + testPadOff)
+	rp, err := NewReplayer(faultio.NewCorruptReader(bytes.NewReader(raw), off), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.Next()
+	rp.Next()
+	err = rp.Err()
+	if err == nil || !strings.Contains(err.Error(), "nonzero pad bytes") {
+		t.Fatalf("Err() = %v, want nonzero-pad rejection", err)
+	}
+}
+
+// TestReadTraceRejectsCorruptRecords: the whole-file reader must apply the
+// same record validation as the streaming replayer.
+func TestReadTraceRejectsCorruptRecords(t *testing.T) {
+	raw := recordedTrace(t, 3)
+	cases := map[string]struct {
+		r    io.Reader
+		want string
+	}{
+		"truncated mid-record": {
+			faultio.Truncate(bytes.NewReader(raw), int64(testHdrLen+recordSize+5)),
+			"truncated",
+		},
+		"reserved flag bits": {
+			faultio.NewCorruptReader(bytes.NewReader(raw), int64(testHdrLen+testFlagsOff)),
+			"reserved record flag bits",
+		},
+		"nonzero pad": {
+			faultio.NewCorruptReader(bytes.NewReader(raw), int64(testHdrLen+2*recordSize+testPadOff)),
+			"nonzero pad bytes",
+		},
+		"read error": {
+			faultio.NewFailingReader(bytes.NewReader(raw), int64(testHdrLen+recordSize), nil),
+			"record 1",
+		},
+	}
+	for name, tc := range cases {
+		_, err := ReadTrace(tc.r)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", name, err, tc.want)
+		}
+	}
+}
+
+// TestReadBufferSurfacesInjectedFaults: DPBF decoding over a dying or
+// truncated source must fail cleanly, naming the array being read.
+func TestReadBufferSurfacesInjectedFaults(t *testing.T) {
+	var good bytes.Buffer
+	if _, err := mustMaterialize(t, mustByName(t, "cc").New(1), 64).WriteTo(&good); err != nil {
+		t.Fatal(err)
+	}
+	raw := good.Bytes()
+
+	if _, err := ReadBuffer(faultio.Truncate(bytes.NewReader(raw), int64(len(raw)-7))); err == nil {
+		t.Error("truncated DPBF accepted")
+	}
+	_, err := ReadBuffer(faultio.NewFailingReader(bytes.NewReader(raw), int64(len(raw)/2), nil))
+	if !errors.Is(err, faultio.ErrInjected) {
+		t.Errorf("mid-read failure: err = %v, want wrapped faultio.ErrInjected", err)
+	}
+}
+
+// TestMaterializeSurfacesGeneratorError: materializing from a source that
+// dies mid-stream must fail instead of returning a buffer padded with the
+// repeated final access.
+func TestMaterializeSurfacesGeneratorError(t *testing.T) {
+	raw := recordedTrace(t, 8)
+	rp, err := NewReplayer(faultio.Truncate(bytes.NewReader(raw), int64(testHdrLen+3*recordSize+1)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Materialize(rp, 8); err == nil {
+		t.Fatal("Materialize over a truncated replay succeeded")
+	}
+}
+
+// TestMaterializeEmptyBufferReader: draining a reader over an empty buffer
+// must fail (errEmptyTrace) rather than yield zero-valued accesses.
+func TestMaterializeEmptyBufferReader(t *testing.T) {
+	rd := NewBuffer("empty", 0).Reader()
+	if _, err := Materialize(rd, 4); err == nil {
+		t.Fatal("Materialize over an empty buffer succeeded")
+	}
+	if !errors.Is(rd.Err(), errEmptyTrace) {
+		t.Errorf("Err() = %v, want errEmptyTrace", rd.Err())
+	}
+}
+
+// TestRecordToFullDisk: recording onto a full disk must return the write
+// error instead of reporting a successful capture.
+func TestRecordToFullDisk(t *testing.T) {
+	w := faultio.NewFailingWriter(nil, int64(testHdrLen+2*recordSize), nil)
+	err := Record(w, mustByName(t, "cc").New(1), 100)
+	if !errors.Is(err, faultio.ErrNoSpace) {
+		t.Fatalf("err = %v, want wrapped faultio.ErrNoSpace", err)
+	}
+}
+
+// TestBufferWriteToFullDisk: DPBF dumps must surface the sink error too.
+func TestBufferWriteToFullDisk(t *testing.T) {
+	b := mustMaterialize(t, mustByName(t, "cc").New(1), 256)
+	w := faultio.NewFailingWriter(nil, 100, nil)
+	if _, err := b.WriteTo(w); !errors.Is(err, faultio.ErrNoSpace) {
+		t.Fatalf("err = %v, want wrapped faultio.ErrNoSpace", err)
+	}
+}
+
+// TestRecordAndMaterializeHonorCancellation: both drain loops must stop
+// with the context's error when canceled before (or during) the drain.
+func TestRecordAndMaterializeHonorCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := mustByName(t, "cc").New(1)
+	if err := RecordContext(ctx, io.Discard, g, 1_000_000); !errors.Is(err, context.Canceled) {
+		t.Errorf("RecordContext err = %v, want context.Canceled", err)
+	}
+	if _, err := MaterializeContext(ctx, g, 1_000_000); !errors.Is(err, context.Canceled) {
+		t.Errorf("MaterializeContext err = %v, want context.Canceled", err)
+	}
+}

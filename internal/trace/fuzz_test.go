@@ -50,13 +50,13 @@ func FuzzReplayer(f *testing.F) {
 		var last Access
 		for i := 0; i < 64; i++ {
 			a := rp.Next()
-			if rp.Err != nil {
+			if rp.Err() != nil {
 				// Errors must latch: every subsequent Next repeats the
 				// last good access without clearing Err.
 				if got := rp.Next(); got != a {
 					t.Errorf("Next after latched error changed: %+v then %+v", a, got)
 				}
-				if rp.Err == nil {
+				if rp.Err() == nil {
 					t.Error("Err cleared by Next after latching")
 				}
 				return
@@ -78,7 +78,7 @@ func FuzzBufferCodec(f *testing.F) {
 			f.Fatal(err)
 		}
 		var buf bytes.Buffer
-		if _, err := Materialize(w.New(1), 16).WriteTo(&buf); err != nil {
+		if _, err := mustMaterialize(f, w.New(1), 16).WriteTo(&buf); err != nil {
 			f.Fatal(err)
 		}
 		f.Add(buf.Bytes())
@@ -141,8 +141,8 @@ func FuzzRoundTrip(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := rp.Next(); rp.Err != nil || got != in {
-			t.Fatalf("round trip: wrote %+v, read %+v (err %v)", in, got, rp.Err)
+		if got := rp.Next(); rp.Err() != nil || got != in {
+			t.Fatalf("round trip: wrote %+v, read %+v (err %v)", in, got, rp.Err())
 		}
 		if rp.Name() != "fuzz" {
 			t.Fatalf("name %q, want %q", rp.Name(), "fuzz")

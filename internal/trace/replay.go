@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -27,6 +28,10 @@ const (
 const (
 	recFlagWrite     = 1 << 0
 	recFlagDependent = 1 << 1
+	// recFlagReserved masks record flag bits 2..7, which must be zero on
+	// disk — like the header's reserved flags, a set bit means a future
+	// format or corruption, and both readers reject it.
+	recFlagReserved = ^uint8(recFlagWrite | recFlagDependent)
 )
 
 // Writer streams accesses into a trace file.
@@ -87,38 +92,75 @@ func (t *Writer) Records() uint64 { return t.n }
 // Flush flushes buffered records to the underlying writer.
 func (t *Writer) Flush() error { return t.w.Flush() }
 
-// Record captures n accesses from a generator into w.
+// Record captures n accesses from a generator into w. A source generator
+// that latches an error (ErrGenerator) fails the capture instead of
+// recording its repeated final access.
 func Record(w io.Writer, g Generator, n uint64) error {
+	return RecordContext(context.Background(), w, g, n)
+}
+
+// RecordContext is Record with cancellation: the capture loop checks ctx
+// on a coarse stride and stops with ctx's error when it is canceled.
+func RecordContext(ctx context.Context, w io.Writer, g Generator, n uint64) error {
 	tw, err := NewWriter(w, g.Name())
 	if err != nil {
 		return err
 	}
+	done := ctx.Done()
 	for i := uint64(0); i < n; i++ {
+		if done != nil && i%ctxCheckStride == 0 {
+			select {
+			case <-done:
+				return fmt.Errorf("trace: recording %s canceled at record %d of %d: %w",
+					g.Name(), i, n, ctx.Err())
+			default:
+			}
+		}
 		if err := tw.Write(g.Next()); err != nil {
 			return err
+		}
+		if err := GeneratorErr(g); err != nil {
+			return fmt.Errorf("trace: recording %s: %w", g.Name(), err)
 		}
 	}
 	return tw.Flush()
 }
 
+// ctxCheckStride is how many loop iterations drain loops (Record,
+// Materialize, sim.System.RunContext) run between context checks: frequent
+// enough that cancellation lands within microseconds, coarse enough that
+// the check is invisible next to the per-iteration work.
+const ctxCheckStride = 4096
+
 // Replayer is a Generator that reads a recorded trace. When the trace is
-// exhausted it either loops (Loop=true) or keeps returning the final
-// access, mirroring the scripted generators used in tests.
+// exhausted it either loops (loop=true) or keeps returning the final
+// access, mirroring the scripted generators used in tests. It implements
+// ErrGenerator: the first read or validation error latches and is
+// reported by Err, because Next cannot return errors without breaking the
+// Generator contract.
 type Replayer struct {
 	r    *bufio.Reader
 	name string
 	buf  [recordSize]byte
 	last Access
 	any  bool
+	// rec counts records delivered so far (across loop rewinds), giving
+	// latched errors a stream position.
+	rec uint64
 	// Loop restarts from the first record at EOF; requires the
 	// underlying reader to be an io.ReadSeeker.
 	loop   bool
 	seeker io.ReadSeeker
 	body   int64
-	// Err records the first read error (other than clean EOF handling);
-	// Next cannot return errors without breaking the Generator contract.
-	Err error
+	// err is the first read or validation error (other than clean EOF
+	// handling); see Err.
+	err error
 }
+
+// Err implements ErrGenerator: it returns the first read or validation
+// error the replay latched, or nil. Once Err is non-nil every Next
+// returns the last good access unchanged.
+func (t *Replayer) Err() error { return t.err }
 
 // NewReplayer opens a recorded trace. If loop is true the source must be
 // an io.ReadSeeker and the trace restarts at EOF; otherwise the final
@@ -181,7 +223,7 @@ var errEmptyTrace = errors.New("trace: no records")
 // that still cannot produce a record latches errEmptyTrace rather than
 // spinning.
 func (t *Replayer) Next() Access {
-	if t.Err != nil {
+	if t.err != nil {
 		return t.last
 	}
 	for rewinds := 0; ; rewinds++ {
@@ -189,29 +231,42 @@ func (t *Replayer) Next() Access {
 		if err == nil {
 			break
 		}
+		if err == io.ErrUnexpectedEOF {
+			t.err = fmt.Errorf("trace: record %d truncated (partial trailing record): %w", t.rec, err)
+			return t.last
+		}
 		if err != io.EOF {
-			t.Err = err
+			t.err = fmt.Errorf("trace: record %d: %w", t.rec, err)
 			return t.last
 		}
 		if !t.any || !t.loop {
 			if !t.any {
-				t.Err = errEmptyTrace
+				t.err = errEmptyTrace
 			}
-			return t.last // repeat final access (or zero value, Err latched)
+			return t.last // repeat final access (or zero value, err latched)
 		}
 		if rewinds > 0 {
-			t.Err = errEmptyTrace
+			t.err = errEmptyTrace
 			return t.last
 		}
 		if _, serr := t.seeker.Seek(t.body, io.SeekStart); serr != nil {
-			t.Err = serr
+			t.err = serr
 			return t.last
 		}
 		t.r.Reset(t.seeker)
 	}
-	t.any = true
 	b := t.buf[:]
 	flags := b[20]
+	if flags&recFlagReserved != 0 {
+		t.err = fmt.Errorf("trace: record %d: reserved record flag bits %#x set", t.rec, flags&recFlagReserved)
+		return t.last
+	}
+	if b[21] != 0 || b[22] != 0 || b[23] != 0 {
+		t.err = fmt.Errorf("trace: record %d: nonzero pad bytes % x", t.rec, b[21:24])
+		return t.last
+	}
+	t.any = true
+	t.rec++
 	t.last = Access{
 		PC:        binary.LittleEndian.Uint64(b[0:]),
 		Addr:      arch.VAddr(binary.LittleEndian.Uint64(b[8:])),

@@ -34,8 +34,8 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 			t.Fatalf("record %d: got %+v, want %+v", i, got, want)
 		}
 	}
-	if rp.Err != nil {
-		t.Fatal(rp.Err)
+	if rp.Err() != nil {
+		t.Fatal(rp.Err())
 	}
 }
 
@@ -71,8 +71,8 @@ func TestReplayRepeatsFinalAccessAtEOF(t *testing.T) {
 			t.Fatalf("EOF repeat %d: got %+v, want %+v", i, got, last)
 		}
 	}
-	if rp.Err != nil {
-		t.Fatal(rp.Err)
+	if rp.Err() != nil {
+		t.Fatal(rp.Err())
 	}
 }
 
@@ -99,8 +99,8 @@ func TestReplayLoops(t *testing.T) {
 			t.Fatalf("looped sequence %v, want %v", pcs, want)
 		}
 	}
-	if rp.Err != nil {
-		t.Fatal(rp.Err)
+	if rp.Err() != nil {
+		t.Fatal(rp.Err())
 	}
 }
 
@@ -153,7 +153,7 @@ func TestRecordRoundTripProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return rp.Next() == a && rp.Err == nil
+		return rp.Next() == a && rp.Err() == nil
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -46,9 +46,18 @@ func readTraceRecords(br *bufio.Reader) (*Buffer, error) {
 			if err == io.EOF {
 				return b, nil
 			}
+			if err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("trace: record %d truncated (partial trailing record): %w", i, err)
+			}
 			return nil, fmt.Errorf("trace: record %d: %w", i, err)
 		}
 		flags := rec[20]
+		if flags&recFlagReserved != 0 {
+			return nil, fmt.Errorf("trace: record %d: reserved record flag bits %#x set", i, flags&recFlagReserved)
+		}
+		if rec[21] != 0 || rec[22] != 0 || rec[23] != 0 {
+			return nil, fmt.Errorf("trace: record %d: nonzero pad bytes % x", i, rec[21:24])
+		}
 		b.Append(Access{
 			PC:        binary.LittleEndian.Uint64(rec[0:]),
 			Addr:      arch.VAddr(binary.LittleEndian.Uint64(rec[8:])),

@@ -44,6 +44,28 @@ type Generator interface {
 	Next() Access
 }
 
+// ErrGenerator is a Generator that can fail mid-stream. Next cannot return
+// an error without breaking the Generator contract, so sources backed by
+// I/O (Replayer) or by finite storage (BufferReader) latch the first
+// failure instead and keep returning the last good access. Consumers that
+// drain a generator — Materialize, Record, sim.System.Run — check Err
+// afterwards via GeneratorErr, so trace corruption surfaces as an error
+// instead of silently repeated records.
+type ErrGenerator interface {
+	Generator
+	// Err returns the first error the generator latched, or nil.
+	Err() error
+}
+
+// GeneratorErr returns g's latched error when g is an ErrGenerator, and
+// nil otherwise. Drain loops call it once after consuming the stream.
+func GeneratorErr(g Generator) error {
+	if eg, ok := g.(ErrGenerator); ok {
+		return eg.Err()
+	}
+	return nil
+}
+
 // Workload is a named entry of the Table II suite.
 type Workload struct {
 	// Name is the paper's workload name ("cactusADM", "cc", ...).
