@@ -18,10 +18,12 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/obs"
+	"repro/internal/obs/serve"
 	"repro/internal/pred"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -53,6 +55,7 @@ func run() error {
 
 		traceOut   = flag.String("trace-out", "", "write hook-point event trace to file (JSONL; a .csv extension selects CSV)")
 		metricsOut = flag.String("metrics-out", "", "write interval time series and final metrics JSON to file")
+		serveAddr  = flag.String("serve", "", "serve live monitoring HTTP endpoints on this address while the run lasts (\":0\" picks a free port)")
 		interval   = flag.Uint64("interval", 50_000, "accesses between interval samples (used with -metrics-out)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to file")
@@ -166,11 +169,39 @@ func run() error {
 
 	r := exp.NewRunner(exp.Params{Warmup: *warmup, Measure: *measure, Seed: *seed, SampleEvery: 20_000})
 	r.SetContext(ctx)
+	if *serveAddr != "" {
+		// Single-cell board: the one workload/setup pair still gets
+		// queued/start/done transitions, and /metrics serves the run's
+		// registry (created here when -metrics-out didn't already).
+		if observer == nil {
+			observer = &obs.Observer{}
+		}
+		if observer.Metrics == nil {
+			observer.Metrics = obs.NewRegistry()
+		}
+		board := serve.NewBoard()
+		r.Status = board
+		server := serve.NewServer(observer.Metrics, board)
+		addr, err := server.Start(*serveAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "deadsim: monitoring on http://%s\n", addr)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := server.Shutdown(sctx); err != nil {
+				fmt.Fprintln(os.Stderr, "deadsim: monitor shutdown:", err)
+				return
+			}
+			fmt.Fprintln(os.Stderr, "deadsim: monitor stopped")
+		}()
+	}
 	r.Observer = observer
 	var res sim.Result
 	if *ckptOut != "" || *ckptIn != "" {
 		if observer != nil {
-			return fmt.Errorf("checkpoints cannot be combined with -trace-out/-metrics-out (observers span the whole run, including warmup)")
+			return fmt.Errorf("checkpoints cannot be combined with -trace-out/-metrics-out/-serve (observers span the whole run, including warmup)")
 		}
 		if setup.Oracle {
 			return fmt.Errorf("the oracle's two-pass protocol cannot be checkpointed")

@@ -15,10 +15,16 @@
 // printed tables are byte-identical whatever the job count.
 //
 // Observability (see DESIGN.md §8): -trace-out FILE streams JSONL (or CSV,
-// by extension) hook-point events (-trace is a deprecated alias; deadsim's
-// -trace is a replay input), -metrics-out FILE writes interval time
-// series plus final counters as JSON, -interval N sets the sampling
-// cadence, and -cpuprofile/-memprofile capture pprof profiles.
+// by extension) hook-point events (deadsim's -trace is a replay input),
+// -metrics-out FILE writes interval time series plus final counters as
+// JSON, -interval N sets the sampling cadence, and
+// -cpuprofile/-memprofile capture pprof profiles.
+//
+// Live monitoring (see DESIGN.md §13): -serve ADDR starts an HTTP server
+// for the duration of the run with /metrics (Prometheus text), /status
+// (JSON grid snapshot), /events (SSE cell transitions), /healthz and
+// /debug/pprof. ":0" picks a free port; the bound address is printed to
+// stderr.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/obs"
+	"repro/internal/obs/serve"
 )
 
 // experiment binds an ID to its generator function.
@@ -83,24 +90,13 @@ func run() error {
 		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulations (1 = sequential; output is identical either way)")
 		verbose    = flag.Bool("v", false, "print per-simulation progress with elapsed time")
 		traceOut   = flag.String("trace-out", "", "write hook-point event trace to file (JSONL; a .csv extension selects CSV)")
-		traceOld   = flag.String("trace", "", "deprecated alias for -trace-out (removal planned for the release after next; use -trace-out)")
 		metricsOut = flag.String("metrics-out", "", "write interval time series and final metrics JSON to file")
+		serveAddr  = flag.String("serve", "", "serve live monitoring HTTP endpoints on this address while the run lasts (\":0\" picks a free port)")
 		interval   = flag.Uint64("interval", 50_000, "accesses between interval samples (used with -metrics-out)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to file")
 	)
 	flag.Parse()
-
-	// -trace was renamed -trace-out to stop colliding with deadsim's
-	// -trace, which names a replay INPUT. The old spelling still works but
-	// is on a removal timeline; scripts should migrate now.
-	if *traceOld != "" {
-		if *traceOut != "" {
-			return fmt.Errorf("-trace is a deprecated alias for -trace-out; set only one")
-		}
-		fmt.Fprintln(os.Stderr, "paperexp: WARNING: -trace is deprecated and will be removed in the release after next; use -trace-out (same semantics)")
-		*traceOut = *traceOld
-	}
 
 	if *list {
 		for _, e := range experiments {
@@ -153,6 +149,34 @@ func run() error {
 	observer, finishObs, err := obs.FromFlags(*traceOut, *metricsOut, *interval)
 	if err != nil {
 		return err
+	}
+
+	if *serveAddr != "" {
+		// Live monitoring needs a metrics registry even when -metrics-out
+		// is unset; the registry is passive, so results are unchanged.
+		if observer == nil {
+			observer = &obs.Observer{}
+		}
+		if observer.Metrics == nil {
+			observer.Metrics = obs.NewRegistry()
+		}
+		board := serve.NewBoard()
+		r.Status = board
+		server := serve.NewServer(observer.Metrics, board)
+		addr, err := server.Start(*serveAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "paperexp: monitoring on http://%s\n", addr)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := server.Shutdown(sctx); err != nil {
+				fmt.Fprintln(os.Stderr, "paperexp: monitor shutdown:", err)
+				return
+			}
+			fmt.Fprintln(os.Stderr, "paperexp: monitor stopped")
+		}()
 	}
 	r.Observer = observer
 

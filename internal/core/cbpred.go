@@ -245,10 +245,19 @@ func (p *CBPred) CounterHistogram() []uint64 {
 	return stats.Histogram8(p.ctrMax, p.bhist)
 }
 
+// PredictionQuality implements obs.QualitySource. cbPred has no victim
+// buffer, so it cannot detect its own premature predictions (a bypassed
+// block simply refetches from memory); the detected count is always 0 and
+// the mirror-based confusion tracker supplies the ground truth.
+func (p *CBPred) PredictionQuality() (predictions, detectedPremature uint64) {
+	return p.stats.Predictions, 0
+}
+
 var (
 	_ pred.LLCPredictor       = (*CBPred)(nil)
 	_ pred.DOAPageListener    = (*CBPred)(nil)
 	_ obs.TraceAttacher       = (*CBPred)(nil)
 	_ obs.MetricSource        = (*CBPred)(nil)
 	_ obs.CounterHistogrammer = (*CBPred)(nil)
+	_ obs.QualitySource       = (*CBPred)(nil)
 )

@@ -248,6 +248,20 @@ func (p *DPPred) RegisterMetrics(r *obs.Registry) {
 	r.RegisterProbe("dppred.column_flushes", func() float64 { return float64(p.stats.ColumnFlushes) })
 	r.RegisterProbe("dppred.increments", func() float64 { return float64(p.stats.Increments) })
 	r.RegisterProbe("dppred.clears", func() float64 { return float64(p.stats.Clears) })
+	// Each shadow hit is a bypassed translation re-requested — a premature
+	// prediction the predictor caught itself.
+	r.RegisterProbe("dppred.premature_detected_rate", func() float64 {
+		if p.stats.Predictions == 0 {
+			return 0
+		}
+		return float64(p.stats.ShadowHits) / float64(p.stats.Predictions)
+	})
+}
+
+// PredictionQuality implements obs.QualitySource: predictions issued and
+// the subset the shadow table already proved premature.
+func (p *DPPred) PredictionQuality() (predictions, detectedPremature uint64) {
+	return p.stats.Predictions, p.stats.ShadowHits
 }
 
 // CounterHistogram implements obs.CounterHistogrammer: bucket v counts the
@@ -261,4 +275,5 @@ var (
 	_ obs.TraceAttacher       = (*DPPred)(nil)
 	_ obs.MetricSource        = (*DPPred)(nil)
 	_ obs.CounterHistogrammer = (*DPPred)(nil)
+	_ obs.QualitySource       = (*DPPred)(nil)
 )

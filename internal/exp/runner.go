@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/serve"
 	"repro/internal/pred"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -138,6 +139,12 @@ type Runner struct {
 	// an isolated ForkRun scope labeled "workload/setup", joined back into
 	// this bundle when the run finishes.
 	Observer *obs.Observer
+	// Status, when set, receives cell lifecycle for live monitoring:
+	// RunGrid queues the whole cross product up front, each memo leader
+	// reports start/done (failures included), and memoized replays count
+	// as memo hits. Board updates happen once per cell, never on the
+	// access path.
+	Status *serve.Board
 }
 
 // memoEntry is one single-flight memo slot: the first caller for a key
@@ -242,6 +249,9 @@ func (r *Runner) RunContext(ctx context.Context, w trace.Workload, setup Setup) 
 	r.mu.Lock()
 	if e, ok := r.memo[key]; ok {
 		r.mu.Unlock()
+		if r.Status != nil {
+			r.Status.MemoHit(w.Name, setup.Name)
+		}
 		select {
 		case <-e.done:
 			return e.res, e.err
@@ -279,6 +289,9 @@ func (r *Runner) lead(ctx context.Context, w trace.Workload, setup Setup) (sim.R
 	if r.ProgressStart != nil {
 		r.ProgressStart(w.Name, setup.Name)
 	}
+	if r.Status != nil {
+		r.Status.CellStart(w.Name, setup.Name)
+	}
 	start := time.Now()
 	res, err := r.runCell(ctx, w, setup)
 	if err != nil {
@@ -286,6 +299,9 @@ func (r *Runner) lead(ctx context.Context, w trace.Workload, setup Setup) (sim.R
 	}
 	if r.ProgressDone != nil {
 		r.ProgressDone(w.Name, setup.Name, time.Since(start), err)
+	}
+	if r.Status != nil {
+		r.Status.CellDone(w.Name, setup.Name, time.Since(start), err)
 	}
 	<-r.sem // release the slot before waking waiters
 	return res, err
@@ -325,6 +341,16 @@ func (r *Runner) RunGridContext(ctx context.Context, workloads []trace.Workload,
 	if r.FailFast {
 		gctx, cancel = context.WithCancel(ctx)
 		defer cancel()
+	}
+	if r.Status != nil {
+		// Announce the full cross product before launching anything, so
+		// /status shows pending cells instead of a grid that grows as
+		// leaders start.
+		for _, w := range workloads {
+			for _, su := range setups {
+				r.Status.CellQueued(w.Name, su.Name)
+			}
+		}
 	}
 	var wg sync.WaitGroup
 	var mu sync.Mutex

@@ -49,6 +49,19 @@ type IntervalSample struct {
 	// installed predictor exposes none.
 	PHISTHist []uint64 `json:"phist_hist,omitempty"`
 	BHISTHist []uint64 `json:"bhist_hist,omitempty"`
+
+	// Confusion-tracker classifications this interval (zero when quality
+	// telemetry is off): dead predictions graded true-dead vs premature,
+	// plus unpredicted deaths. The premature rates are per-interval
+	// Premature/(TrueDead+Premature).
+	LLTTrueDead      uint64  `json:"llt_true_dead,omitempty"`
+	LLTPremature     uint64  `json:"llt_premature,omitempty"`
+	LLTMissed        uint64  `json:"llt_missed,omitempty"`
+	LLTPrematureRate float64 `json:"llt_premature_rate,omitempty"`
+	LLCTrueDead      uint64  `json:"llc_true_dead,omitempty"`
+	LLCPremature     uint64  `json:"llc_premature,omitempty"`
+	LLCMissed        uint64  `json:"llc_missed,omitempty"`
+	LLCPrematureRate float64 `json:"llc_premature_rate,omitempty"`
 }
 
 // IntervalRecorder accumulates interval samples across runs.
@@ -88,9 +101,10 @@ func (r *IntervalRecorder) Samples() []IntervalSample { return r.samples }
 
 // metricsDoc is the -metrics-out JSON document shape.
 type metricsDoc struct {
-	IntervalAccesses uint64           `json:"interval_accesses,omitempty"`
-	Intervals        []IntervalSample `json:"intervals"`
-	Metrics          Snapshot         `json:"metrics,omitempty"`
+	IntervalAccesses uint64                       `json:"interval_accesses,omitempty"`
+	Intervals        []IntervalSample             `json:"intervals"`
+	Metrics          Snapshot                     `json:"metrics,omitempty"`
+	Histograms       map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // WriteMetricsJSON writes the observer's interval series and final metric
@@ -105,6 +119,9 @@ func (o *Observer) WriteMetricsJSON(w io.Writer) error {
 	}
 	if o != nil && o.Metrics != nil {
 		doc.Metrics = o.Metrics.Snapshot()
+		if h := o.Metrics.Histograms(); len(h) > 0 {
+			doc.Histograms = h
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

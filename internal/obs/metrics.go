@@ -40,6 +40,7 @@ type registryState struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	probes   map[string]func() float64
+	hists    map[string]*Histogram
 }
 
 // Registry is a namespace of named metrics. Components register counters,
@@ -58,6 +59,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		probes:   make(map[string]func() float64),
+		hists:    make(map[string]*Histogram),
 	}}
 }
 
@@ -92,6 +94,38 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the named histogram, creating it on first use.
+// Histograms live in the shared store like every other metric, so a
+// ForkRun child registering under its run-scoped view and a server
+// snapshotting the parent see the same instance; Observe is atomic, so the
+// sharing is race-free.
+func (r *Registry) Histogram(name string) *Histogram {
+	name = r.prefix + name
+	r.state.mu.Lock()
+	defer r.state.mu.Unlock()
+	h, ok := r.state.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.state.hists[name] = h
+	}
+	return h
+}
+
+// Histograms snapshots every histogram into a flat name → snapshot map.
+func (r *Registry) Histograms() map[string]HistogramSnapshot {
+	r.state.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.state.hists))
+	for n, h := range r.state.hists {
+		hists[n] = h
+	}
+	r.state.mu.Unlock()
+	out := make(map[string]HistogramSnapshot, len(hists))
+	for n, h := range hists {
+		out[n] = h.Snapshot()
+	}
+	return out
+}
+
 // RegisterProbe installs a function evaluated at snapshot time. The last
 // registration for a name wins; fn must be cheap and side-effect free.
 func (r *Registry) RegisterProbe(name string, fn func() float64) {
@@ -104,11 +138,15 @@ func (r *Registry) RegisterProbe(name string, fn func() float64) {
 // Snapshot is a point-in-time flat view of every metric.
 type Snapshot map[string]float64
 
-// Snapshot evaluates all counters, gauges and probes.
+// Snapshot evaluates all counters, gauges and probes. Histograms
+// contribute three scalar views each — "name.count", "name.sum" and
+// "name.mean" — so flat consumers (the -metrics-out JSON, Format) see
+// them without understanding buckets; Histograms() returns the full
+// distributions.
 func (r *Registry) Snapshot() Snapshot {
 	r.state.mu.Lock()
 	defer r.state.mu.Unlock()
-	s := make(Snapshot, len(r.state.counters)+len(r.state.gauges)+len(r.state.probes))
+	s := make(Snapshot, len(r.state.counters)+len(r.state.gauges)+len(r.state.probes)+3*len(r.state.hists))
 	for n, c := range r.state.counters {
 		s[n] = float64(c.v)
 	}
@@ -117,6 +155,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for n, fn := range r.state.probes {
 		s[n] = fn()
+	}
+	for n, h := range r.state.hists {
+		hs := h.Snapshot()
+		s[n+".count"] = float64(hs.Count)
+		s[n+".sum"] = float64(hs.Sum)
+		s[n+".mean"] = hs.Mean()
 	}
 	return s
 }

@@ -163,3 +163,14 @@ type MetricSource interface {
 type CounterHistogrammer interface {
 	CounterHistogram() []uint64
 }
+
+// QualitySource is implemented by predictors that report their own live
+// prediction-quality signal: how many dead predictions they have issued
+// and how many of those their own machinery has already detected as
+// premature (dpPred's shadow table detects one every time a bypassed
+// translation is re-requested, §V-A). Detection is a lower bound on the
+// true premature count — the mirror-based confusion tracker supplies the
+// ground truth — but it is the only quality signal real hardware has.
+type QualitySource interface {
+	PredictionQuality() (predictions, detectedPremature uint64)
+}

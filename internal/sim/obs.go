@@ -3,6 +3,7 @@ package sim
 import (
 	"repro/internal/cache"
 	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 // AttachObserver connects an observability bundle to the system: the
@@ -19,6 +20,9 @@ func (s *System) AttachObserver(o *obs.Observer) {
 	s.observer = o
 	s.tr = nil
 	s.intervalEvery = 0
+	s.lltConf, s.llcConf = nil, nil
+	s.histMemLat, s.histWalkDepth, s.histWalkLat = nil, nil, nil
+	s.histLLTLife, s.histLLCLife = nil, nil
 	if o == nil {
 		return
 	}
@@ -28,10 +32,13 @@ func (s *System) AttachObserver(o *obs.Observer) {
 	}
 	if o.Interval != nil && o.Interval.Every > 0 {
 		s.intervalEvery = o.Interval.Every
-		s.intervalBase = s.snap()
 	}
 	if reg := o.RunRegistry(); reg != nil {
+		s.enableQuality(reg)
 		s.registerMetrics(reg)
+	}
+	if s.intervalEvery > 0 {
+		s.intervalBase = s.snap()
 	}
 	s.observePredictors()
 }
@@ -59,6 +66,28 @@ func (s *System) observePredictors() {
 			}
 		}
 	}
+}
+
+// enableQuality turns on the passive quality telemetry that only exists
+// when a metrics registry is attached: the confusion trackers mirroring
+// the LLT and LLC (grading every dead prediction as true-dead, premature
+// or missed) and the latency/lifetime histograms. Mirror construction
+// cannot fail here — the geometries were already validated when the real
+// structures were built — but a defensive nil keeps the hook disabled if
+// it ever does.
+func (s *System) enableQuality(r *obs.Registry) {
+	inner := s.llt.Inner()
+	if t, err := stats.NewConfusionTracker("llt", inner.Sets(), inner.Ways(), s.cfg.LLT.Policy); err == nil {
+		s.lltConf = t
+	}
+	if t, err := stats.NewConfusionTracker("llc", s.llc.Sets(), s.llc.Ways(), s.cfg.LLC.Policy); err == nil {
+		s.llcConf = t
+	}
+	s.histMemLat = r.Histogram("hist.mem_latency")
+	s.histWalkDepth = r.Histogram("hist.walk_depth")
+	s.histWalkLat = r.Histogram("hist.walk_latency")
+	s.histLLTLife = r.Histogram("hist.llt_lifetime")
+	s.histLLCLife = r.Histogram("hist.llc_lifetime")
 }
 
 // registerMetrics publishes every structure's counters as probes. Probes
@@ -100,6 +129,48 @@ func (s *System) registerMetrics(r *obs.Registry) {
 	r.RegisterProbe("sim.accesses", func() float64 { return float64(s.accesses) })
 	r.RegisterProbe("sim.walks", func() float64 { return float64(s.walks) })
 	r.RegisterProbe("sim.shadow_fills", func() float64 { return float64(s.shadowFills) })
+
+	// Ground-truth prediction quality from the mirror-based confusion
+	// trackers (nil-guarded: the trackers only exist while a registry is
+	// attached, but probes may outlive a detach).
+	confusion := func(prefix string, t func() *stats.ConfusionTracker) {
+		counts := func() stats.Confusion {
+			if ct := t(); ct != nil {
+				return ct.Counts()
+			}
+			return stats.Confusion{}
+		}
+		r.RegisterProbe(prefix+".true_dead", func() float64 { return float64(counts().TrueDead) })
+		r.RegisterProbe(prefix+".premature", func() float64 { return float64(counts().Premature) })
+		r.RegisterProbe(prefix+".missed", func() float64 { return float64(counts().Missed) })
+		r.RegisterProbe(prefix+".premature_rate", func() float64 { return counts().PrematureRate() })
+		r.RegisterProbe(prefix+".coverage", func() float64 { return counts().CoverageRate() })
+	}
+	confusion("conf.llt", func() *stats.ConfusionTracker { return s.lltConf })
+	confusion("conf.llc", func() *stats.ConfusionTracker { return s.llcConf })
+
+	// Self-reported quality from predictors implementing obs.QualitySource
+	// (dpPred's shadow table detects its own premature predictions). The
+	// type assertion runs inside the closure so predictor swaps after
+	// AttachObserver are picked up.
+	quality := func(prefix string, cur func() any) {
+		read := func() (uint64, uint64) {
+			if q, ok := cur().(obs.QualitySource); ok {
+				return q.PredictionQuality()
+			}
+			return 0, 0
+		}
+		r.RegisterProbe(prefix+".predictions", func() float64 {
+			p, _ := read()
+			return float64(p)
+		})
+		r.RegisterProbe(prefix+".premature_detected", func() float64 {
+			_, d := read()
+			return float64(d)
+		})
+	}
+	quality("pred.tlb", func() any { return s.tlbPred })
+	quality("pred.llc", func() any { return s.llcPred })
 }
 
 // sampleInterval emits one time-series point covering the accesses since
@@ -136,6 +207,16 @@ func (s *System) sampleInterval() {
 	}
 	if h, ok := s.llcPred.(obs.CounterHistogrammer); ok {
 		samp.BHISTHist = h.CounterHistogram()
+	}
+	if s.lltConf != nil {
+		d := cur.lltConf.Delta(b.lltConf)
+		samp.LLTTrueDead, samp.LLTPremature, samp.LLTMissed = d.TrueDead, d.Premature, d.Missed
+		samp.LLTPrematureRate = d.PrematureRate()
+	}
+	if s.llcConf != nil {
+		d := cur.llcConf.Delta(b.llcConf)
+		samp.LLCTrueDead, samp.LLCPremature, samp.LLCMissed = d.TrueDead, d.Premature, d.Missed
+		samp.LLCPrematureRate = d.PrematureRate()
 	}
 	idx := s.observer.Interval.Add(samp)
 	if s.tr != nil {

@@ -35,6 +35,9 @@ type snapshot struct {
 	fullWalks               uint64
 
 	memLatSum, memOps uint64
+
+	// Confusion-tracker classifications (zero when tracking is off).
+	lltConf, llcConf stats.Confusion
 }
 
 func (s *System) snap() snapshot {
@@ -46,7 +49,15 @@ func (s *System) snap() snapshot {
 	dtlb := s.dtlb.Stats()
 	wk := s.walk.Stats()
 	latSum, memOps := s.core.MemLatencyStats()
+	var lltConf, llcConf stats.Confusion
+	if s.lltConf != nil {
+		lltConf = s.lltConf.Counts()
+	}
+	if s.llcConf != nil {
+		llcConf = s.llcConf.Counts()
+	}
 	return snapshot{
+		lltConf: lltConf, llcConf: llcConf,
 		l1dLookups: l1d.Lookups, l1dMisses: l1d.Misses,
 		l2Lookups: l2.Lookups, l2Misses: l2.Misses,
 		itlbLookups: itlb.Lookups, itlbMisses: itlb.Misses,

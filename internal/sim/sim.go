@@ -72,6 +72,18 @@ type System struct {
 	intervalEvery uint64
 	intervalBase  snapshot
 
+	// Predictor-quality telemetry and latency/lifetime histograms,
+	// enabled by AttachObserver when the observer carries a metrics
+	// registry (all nil otherwise, so the disabled hot path pays one nil
+	// check per hook). All of it is passive: mirrors and histograms only
+	// observe, so results are bit-identical with or without it.
+	lltConf, llcConf *stats.ConfusionTracker
+	histMemLat       *obs.Histogram // total memory latency per access
+	histWalkDepth    *obs.Histogram // PTE fetches per page walk (1–4)
+	histWalkLat      *obs.Histogram // effective walk latency, queueing included
+	histLLTLife      *obs.Histogram // LLT entry residency, fill → eviction
+	histLLCLife      *obs.Histogram // LLC block residency, fill → eviction
+
 	// Counters owned by the system.
 	accesses    uint64
 	walks       uint64
@@ -285,6 +297,10 @@ func (s *System) Step(a trace.Access) error {
 	pa := arch.Translate(pfn, a.Addr)
 	memLat := s.memAccess(pa, a.PC, a.Write)
 
+	if s.histMemLat != nil {
+		s.histMemLat.Observe(uint64(iLat) + uint64(dLat) + uint64(memLat))
+	}
+
 	if cc := s.cpuCore; cc != nil {
 		cc.Memory(uint64(iLat)+uint64(dLat)+uint64(memLat), a.Dependent)
 	} else {
@@ -369,6 +385,9 @@ func (s *System) translate(vpn arch.VPN, pc uint64, instr bool) (arch.Lat, arch.
 		if s.lltAcc != nil {
 			s.lltAcc.Access(uint64(vpn), false, now)
 		}
+		if s.lltConf != nil {
+			s.lltConf.Access(uint64(vpn), false, now)
+		}
 		pfn := arch.PFN(b.Data)
 		s.fillL1TLB(l1, vpn, pfn)
 		return s.llt.Latency(), pfn, nil
@@ -384,6 +403,9 @@ func (s *System) translate(vpn arch.VPN, pc uint64, instr bool) (arch.Lat, arch.
 		s.lltFill(vpn, pfn, pc, pred.Decision{PCHash: uint16(xhash.PC(pc, 6))})
 		if s.lltAcc != nil {
 			s.lltAcc.Access(uint64(vpn), false, now)
+		}
+		if s.lltConf != nil {
+			s.lltConf.Access(uint64(vpn), false, now)
 		}
 		s.fillL1TLB(l1, vpn, pfn)
 		return s.llt.Latency(), pfn, nil
@@ -408,9 +430,16 @@ func (s *System) translate(vpn arch.VPN, pc uint64, instr bool) (arch.Lat, arch.
 	if s.tr != nil {
 		s.tr.Emit(obs.Event{Kind: obs.EvWalk, Key: uint64(vpn), Aux: uint64(effWalk), Flag: !walkerWasIdle})
 	}
+	if s.histWalkDepth != nil {
+		s.histWalkDepth.Observe(uint64(res.PTAccesses))
+		s.histWalkLat.Observe(uint64(effWalk))
+	}
 	d := s.tlbPred.OnFill(vpn, res.PFN, pc)
 	if s.lltAcc != nil {
 		s.lltAcc.Access(uint64(vpn), d.PredictDOA, now)
+	}
+	if s.lltConf != nil {
+		s.lltConf.Access(uint64(vpn), d.PredictDOA, now)
 	}
 	if d.Bypass {
 		s.llt.RecordBypass()
@@ -475,6 +504,9 @@ func (s *System) lltFill(vpn arch.VPN, pfn arch.PFN, pc uint64, d pred.Decision)
 	if s.tr != nil {
 		s.tr.Emit(obs.Event{Kind: obs.EvLLTEvict, Key: victim.Key, Aux: victim.Data, Flag: victim.Accessed})
 	}
+	if s.histLLTLife != nil {
+		s.histLLTLife.Observe(now - victim.FillTime)
+	}
 	if !victim.Prefetched {
 		s.tlbPred.OnEvict(victim)
 	}
@@ -528,6 +560,9 @@ func (s *System) memAccess(pa arch.PAddr, pc uint64, write bool) arch.Lat {
 		if s.llcAcc != nil {
 			s.llcAcc.Access(key, false, now)
 		}
+		if s.llcConf != nil {
+			s.llcConf.Access(key, false, now)
+		}
 		s.fillInner(s.l2, key, false, now)
 		s.fillInner(s.l1d, key, write, now)
 		return s.cfg.LLC.Latency
@@ -537,6 +572,9 @@ func (s *System) memAccess(pa arch.PAddr, pc uint64, write bool) arch.Lat {
 	d := s.llcPred.OnFill(key, pc)
 	if s.llcAcc != nil {
 		s.llcAcc.Access(key, d.PredictDOA, now)
+	}
+	if s.llcConf != nil {
+		s.llcConf.Access(key, d.PredictDOA, now)
 	}
 	if d.Bypass {
 		s.llc.RecordBypass()
@@ -557,6 +595,9 @@ func (s *System) memAccess(pa arch.PAddr, pc uint64, write bool) arch.Lat {
 		if evicted {
 			if s.tr != nil {
 				s.tr.Emit(obs.Event{Kind: obs.EvLLCEvict, Key: victim.Key, Flag: victim.Accessed})
+			}
+			if s.histLLCLife != nil {
+				s.histLLCLife.Observe(now - victim.FillTime)
 			}
 			s.llcPred.OnEvict(victim)
 			if s.llcSampler != nil {
@@ -589,12 +630,19 @@ func (s *System) fillInner(c *cache.Cache, key uint64, write bool, now uint64) {
 	nb.Dirty = write
 }
 
-// Finish resolves end-of-run instrumentation: samplers flush residents and
-// the correlation tracker classifies pages still in the LLT.
+// Finish resolves end-of-run instrumentation: samplers flush residents,
+// the confusion trackers grade entries still resident in their mirrors,
+// and the correlation tracker classifies pages still in the LLT.
 func (s *System) Finish() {
 	if s.lltSampler != nil {
 		s.lltSampler.Finish(s.llt.Inner())
 		s.llcSampler.Finish(s.llc)
+	}
+	if s.lltConf != nil {
+		s.lltConf.Flush()
+	}
+	if s.llcConf != nil {
+		s.llcConf.Flush()
 	}
 	if s.corr != nil {
 		s.llt.Inner().ForEach(func(_, _ int, b *cache.Block) {
