@@ -5,9 +5,13 @@
 //
 //	deadsim -workload cactusADM -tlb dpPred -llc cbPred -n 1000000
 //
-// Predictor choices: -tlb {none,dpPred,SHiP,AIP,oracle}, -llc
-// {none,cbPred,SHiP,AIP}. cbPred requires dpPred on the TLB side (it is
-// driven by dpPred's DOA-page notifications, §V-B).
+// Predictor choices resolve through the arena registry (internal/pred):
+// any registered name works case-insensitively (-tlb SDBP-TLB, -tlb
+// "duel(dpPred,SDBP)", -llc SHiP-LLC, ...), plus "none" and the
+// historical short aliases — -tlb {dpPred,SHiP,AIP,oracle}, -llc
+// {cbPred,SHiP,AIP}. Unknown names list the registered set. cbPred (and
+// any predictor registered with NeedsDOACoupling) requires a bypassing
+// TLB-side driver such as dpPred (§V-B).
 package main
 
 import (
@@ -20,7 +24,9 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/core"
+	// core registers dpPred, cbPred and the tournament duels in the
+	// predictor registry at init.
+	_ "repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/obs"
 	"repro/internal/obs/serve"
@@ -36,12 +42,29 @@ func main() {
 	}
 }
 
+// tlbAliases and llcAliases keep the historical short flag values working
+// on top of the registry's canonical names.
+var (
+	tlbAliases = map[string]string{"dppred": "dpPred", "ship": "SHiP-TLB", "aip": "AIP-TLB"}
+	llcAliases = map[string]string{"cbpred": "cbPred", "ship": "SHiP-LLC", "aip": "AIP-LLC"}
+)
+
+// resolveAlias maps a CLI value to its registry name; unknown values pass
+// through so pred.Lookup can resolve exact names or report the registered
+// set.
+func resolveAlias(name string, aliases map[string]string) string {
+	if canonical, ok := aliases[strings.ToLower(name)]; ok {
+		return canonical
+	}
+	return name
+}
+
 func run() error {
 	var (
 		workload  = flag.String("workload", "cactusADM", "Table II workload name (or 'list')")
 		traceFile = flag.String("trace", "", "replay a recorded trace file instead of a synthetic workload (looped; see cmd/tracedump)")
-		tlbPred   = flag.String("tlb", "none", "LLT predictor: none, dpPred, SHiP, AIP, oracle")
-		llcPred   = flag.String("llc", "none", "LLC predictor: none, cbPred, SHiP, AIP")
+		tlbPred   = flag.String("tlb", "none", "LLT predictor: none, oracle, or a registered name/alias (dpPred, SHiP, AIP, SDBP-TLB, Leeway-TLB, ...)")
+		llcPred   = flag.String("llc", "none", "LLC predictor: none or a registered name/alias (cbPred, SHiP, AIP, SDBP-LLC, ...)")
 		warmup    = flag.Uint64("warmup", 300_000, "warmup accesses before measurement")
 		measure   = flag.Uint64("n", 1_000_000, "measured accesses")
 		seed      = flag.Uint64("seed", 1, "workload and allocator seed")
@@ -104,44 +127,38 @@ func run() error {
 	cfg.Seed = *seed
 
 	setup := exp.Setup{Name: "cli"}
+	var tlbReg *pred.Registration
 	switch strings.ToLower(*tlbPred) {
 	case "none":
-	case "dppred":
-		setup.TLB = func(s *sim.System) (pred.TLBPredictor, error) {
-			return core.NewDPPred(core.DefaultDPPredConfig(s.LLT().Entries()))
-		}
-	case "ship":
-		setup.TLB = func(s *sim.System) (pred.TLBPredictor, error) {
-			return pred.NewSHiPTLB(pred.DefaultSHiPTLBConfig(s.LLT().Entries()))
-		}
-	case "aip":
-		setup.TLB = func(s *sim.System) (pred.TLBPredictor, error) {
-			return pred.NewAIPTLB(pred.DefaultAIPTLBConfig(s.LLT().Entries()), s.LLT().Inner())
-		}
 	case "oracle":
 		setup.Oracle = true
 	default:
-		return fmt.Errorf("unknown TLB predictor %q", *tlbPred)
+		reg, err := pred.Lookup(resolveAlias(*tlbPred, tlbAliases))
+		if err != nil {
+			return err
+		}
+		if reg.Kind != pred.KindTLB {
+			return fmt.Errorf("%s is an %v predictor; use -llc", reg.Name, reg.Kind)
+		}
+		setup.TLB = func(s *sim.System) (pred.TLBPredictor, error) {
+			return reg.NewTLB(s.LLT().Inner())
+		}
+		tlbReg = &reg
 	}
-	switch strings.ToLower(*llcPred) {
-	case "none":
-	case "cbpred":
-		if strings.ToLower(*tlbPred) != "dppred" {
-			return fmt.Errorf("cbPred requires -tlb dpPred (it is driven by dpPred's DOA pages)")
+	if strings.ToLower(*llcPred) != "none" {
+		reg, err := pred.Lookup(resolveAlias(*llcPred, llcAliases))
+		if err != nil {
+			return err
+		}
+		if reg.Kind != pred.KindLLC {
+			return fmt.Errorf("%s is a %v predictor; use -tlb", reg.Name, reg.Kind)
+		}
+		if reg.Caps.NeedsDOACoupling && (tlbReg == nil || !tlbReg.Caps.Bypasses) {
+			return fmt.Errorf("%s requires a bypassing DOA-page driver on the TLB side (-tlb dpPred, §V-B)", reg.Name)
 		}
 		setup.LLC = func(s *sim.System) (pred.LLCPredictor, error) {
-			return core.NewCBPred(core.DefaultCBPredConfig(s.LLC().Capacity()))
+			return reg.NewLLC(s.LLC())
 		}
-	case "ship":
-		setup.LLC = func(s *sim.System) (pred.LLCPredictor, error) {
-			return pred.NewSHiPLLC(pred.DefaultSHiPLLCConfig(s.LLC().Capacity()))
-		}
-	case "aip":
-		setup.LLC = func(s *sim.System) (pred.LLCPredictor, error) {
-			return pred.NewAIPLLC(pred.DefaultAIPLLCConfig(s.LLC().Capacity()), s.LLC())
-		}
-	default:
-		return fmt.Errorf("unknown LLC predictor %q", *llcPred)
 	}
 	setup.Config = func() sim.Config { return cfg }
 	setup.Instrument = exp.Instrumentation{Accuracy: *accuracy, Characterize: *deadScan}

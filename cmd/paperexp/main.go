@@ -7,8 +7,15 @@
 //	paperexp                 # full run (several minutes)
 //	paperexp -quick          # reduced trace lengths (~2 minutes)
 //	paperexp -only fig9,tab4 # a subset
-//	paperexp -list           # list experiment IDs
+//	paperexp -list           # list experiment IDs and registered predictors
 //	paperexp -jobs 8         # worker-pool width (default GOMAXPROCS)
+//	paperexp -predictors all # extended Table IV across the predictor arena
+//
+// -predictors sweeps registered predictors (internal/pred registry) on
+// identical materialized traces and prints the extended Table IV with
+// storage-normalized footers; "all" sweeps every TLB-side predictor, a
+// comma-separated list picks specific competitors (unknown names list the
+// registered set). Without -only, -predictors runs just the sweep.
 //
 // Simulations are sharded across a bounded worker pool (-jobs); every run
 // is seeded, results are aggregated in the paper's fixed order, and the
@@ -41,6 +48,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/obs"
 	"repro/internal/obs/serve"
+	"repro/internal/pred"
 )
 
 // experiment binds an ID to its generator function.
@@ -95,6 +103,7 @@ func run() error {
 		interval   = flag.Uint64("interval", 50_000, "accesses between interval samples (used with -metrics-out)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to file")
+		predictors = flag.String("predictors", "", "extended Table IV sweep: comma-separated registered predictor names, or \"all\" for every TLB-side predictor")
 	)
 	flag.Parse()
 
@@ -103,6 +112,7 @@ func run() error {
 			fmt.Printf("%-8s %s\n", e.id, e.name)
 		}
 		fmt.Println("storage  Section VI-D (storage overheads)")
+		fmt.Printf("\nregistered predictors (-predictors): %s\n", strings.Join(pred.Names(), ", "))
 		return nil
 	}
 
@@ -186,7 +196,13 @@ func run() error {
 			selected[strings.ToLower(id)] = true
 		}
 	}
-	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+	// With -predictors and no -only, run just the arena sweep.
+	want := func(id string) bool {
+		if len(selected) == 0 {
+			return *predictors == ""
+		}
+		return selected[id]
+	}
 
 	// failPartial flushes the observability sinks before surfacing an
 	// error, so an interrupted or failed grid still leaves analyzable
@@ -217,6 +233,21 @@ func run() error {
 			return failPartial(err)
 		}
 		fmt.Println(rep.Format())
+	}
+	if *predictors != "" {
+		var names []string
+		if !strings.EqualFold(*predictors, "all") {
+			for _, n := range strings.Split(*predictors, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					names = append(names, n)
+				}
+			}
+		}
+		s, err := exp.Table4Extended(r, names)
+		if err != nil {
+			return failPartial(fmt.Errorf("predictors: %w", err))
+		}
+		fmt.Println(s.Format())
 	}
 	if err := finishObs(); err != nil {
 		return err

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/pred"
+)
+
+// init registers the paper's own predictors and the tournament duels in
+// the arena registry (see internal/pred/registry.go). The duels pit the
+// paper's bypassing predictors against the sampler-based SDBP newcomer
+// with DIP-style set dueling: leader sets always apply one contestant,
+// follower sets obey the shared PSEL counter, and both contestants keep
+// training regardless of who is applied.
+func init() {
+	pred.MustRegister(pred.Registration{
+		Name: "dpPred",
+		Kind: pred.KindTLB,
+		Caps: pred.Caps{Bypasses: true, VictimBuffer: true},
+		NewTLB: func(llt *cache.Cache) (pred.TLBPredictor, error) {
+			return NewDPPred(DefaultDPPredConfig(llt.Capacity()))
+		},
+		StorageBits: dpPredStorageBits,
+	})
+	pred.MustRegister(pred.Registration{
+		Name: "cbPred",
+		Kind: pred.KindLLC,
+		Caps: pred.Caps{Bypasses: true, NeedsDOACoupling: true},
+		NewLLC: func(llc *cache.Cache) (pred.LLCPredictor, error) {
+			return NewCBPred(DefaultCBPredConfig(llc.Capacity()))
+		},
+		StorageBits: cbPredStorageBits,
+	})
+	pred.MustRegister(pred.Registration{
+		Name: "duel(dpPred,SDBP)",
+		Kind: pred.KindTLB,
+		Caps: pred.Caps{Bypasses: true, VictimBuffer: true, Demotes: true},
+		NewTLB: func(llt *cache.Cache) (pred.TLBPredictor, error) {
+			a, err := NewDPPred(DefaultDPPredConfig(llt.Capacity()))
+			if err != nil {
+				return nil, err
+			}
+			b, err := pred.NewSDBPTLB(pred.DefaultSDBPTLBConfig(llt.Capacity()), llt)
+			if err != nil {
+				return nil, err
+			}
+			return pred.NewTournamentTLB("duel(dpPred,SDBP)", a, b, llt)
+		},
+		StorageBits: func(entries int) uint64 {
+			return dpPredStorageBits(entries) +
+				pred.DefaultSDBPTLBConfig(entries).StorageBits() + duelPSELBits
+		},
+	})
+	pred.MustRegister(pred.Registration{
+		Name: "duel(cbPred,SDBP)",
+		Kind: pred.KindLLC,
+		Caps: pred.Caps{Bypasses: true, Demotes: true, NeedsDOACoupling: true},
+		NewLLC: func(llc *cache.Cache) (pred.LLCPredictor, error) {
+			a, err := NewCBPred(DefaultCBPredConfig(llc.Capacity()))
+			if err != nil {
+				return nil, err
+			}
+			b, err := pred.NewSDBPLLC(pred.DefaultSDBPLLCConfig(llc.Capacity()), llc)
+			if err != nil {
+				return nil, err
+			}
+			return pred.NewTournamentLLC("duel(cbPred,SDBP)", a, b, llc)
+		},
+		StorageBits: func(blocks int) uint64 {
+			return cbPredStorageBits(blocks) +
+				pred.DefaultSDBPLLCConfig(blocks).StorageBits() + duelPSELBits
+		},
+	})
+}
+
+// duelPSELBits is the tournament selector's own state: the shared 10-bit
+// PSEL counter plus sign (policy.NewDuel's default).
+const duelPSELBits = 11
+
+// dpPredStorageBits accounts dpPred's budget for an LLT of the given entry
+// count without building a system (construction is cheap and exact: the
+// predictor's own StorageBits reproduces the §V-D breakdown).
+func dpPredStorageBits(entries int) uint64 {
+	p, err := NewDPPred(DefaultDPPredConfig(entries))
+	if err != nil {
+		return 0
+	}
+	return p.StorageBits()
+}
+
+// cbPredStorageBits is the LLC-side counterpart.
+func cbPredStorageBits(blocks int) uint64 {
+	p, err := NewCBPred(DefaultCBPredConfig(blocks))
+	if err != nil {
+		return 0
+	}
+	return p.StorageBits()
+}

@@ -22,6 +22,10 @@ type Series struct {
 	// Summary is the per-column aggregate; SummaryLabel names it.
 	Summary      []float64
 	SummaryLabel string
+	// Footers are extra per-column annotation rows rendered after the
+	// summary (the extended Table IV's storage normalization); nil for
+	// the paper's own artifacts, whose layout is golden-pinned.
+	Footers []SeriesRow
 }
 
 // SeriesRow is one workload's values.
@@ -40,6 +44,11 @@ func (s Series) Format() string {
 
 	nameW := len("workload")
 	for _, r := range s.Rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+	}
+	for _, r := range s.Footers {
 		if len(r.Name) > nameW {
 			nameW = len(r.Name)
 		}
@@ -67,6 +76,13 @@ func (s Series) Format() string {
 	if s.Summary != nil {
 		fmt.Fprintf(&b, "%-*s", nameW, s.SummaryLabel)
 		for i, v := range s.Summary {
+			fmt.Fprintf(&b, "  %*s", colW[i], formatCell(v))
+		}
+		b.WriteByte('\n')
+	}
+	for _, r := range s.Footers {
+		fmt.Fprintf(&b, "%-*s", nameW, r.Name)
+		for i, v := range r.Values {
 			fmt.Fprintf(&b, "  %*s", colW[i], formatCell(v))
 		}
 		b.WriteByte('\n')

@@ -14,7 +14,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/serve"
 	"repro/internal/pred"
@@ -688,47 +687,39 @@ func Baseline() Setup { return Setup{Name: "baseline", WarmupKey: "baseline"} }
 
 // DPPredSetup runs dpPred on the LLT. Shares warm state with its accuracy
 // variant.
-func DPPredSetup() Setup {
-	return Setup{Name: "dpPred", TLB: newDPPred, WarmupKey: "dpPred"}
-}
+func DPPredSetup() Setup { return mustSetup("dpPred") }
 
-// DPPredCBPredSetup runs the paper's full proposal: dpPred + cbPred. Shares
-// warm state with its accuracy variant.
-func DPPredCBPredSetup() Setup {
-	return Setup{Name: "dpPred+cbPred", TLB: newDPPred, LLC: newCBPred, WarmupKey: "dpPred+cbPred"}
-}
+// DPPredCBPredSetup runs the paper's full proposal: dpPred + cbPred
+// (resolving cbPred through the registry auto-pairs its dpPred driver).
+// Shares warm state with its accuracy variant.
+func DPPredCBPredSetup() Setup { return mustSetup("cbPred") }
 
 // AIPTLBSetup applies AIP to the LLT (§VI-A).
-func AIPTLBSetup() Setup {
-	return Setup{Name: "AIP-TLB", TLB: newAIPTLB}
-}
+func AIPTLBSetup() Setup { return mustSetup("AIP-TLB") }
 
 // SHiPTLBSetup applies SHiP to the LLT (§VI-A). Shares warm state with its
 // accuracy variant.
-func SHiPTLBSetup() Setup {
-	return Setup{Name: "SHiP-TLB", TLB: newSHiPTLB, WarmupKey: "SHiP-TLB"}
-}
+func SHiPTLBSetup() Setup { return mustSetup("SHiP-TLB") }
 
 // AIPLLCSetup applies AIP to the LLC (§VI-B).
-func AIPLLCSetup() Setup {
-	return Setup{Name: "AIP-LLC", LLC: newAIPLLC}
-}
+func AIPLLCSetup() Setup { return mustSetup("AIP-LLC") }
 
 // SHiPLLCSetup applies SHiP to the LLC (§VI-B). Shares warm state with its
 // accuracy variant.
-func SHiPLLCSetup() Setup {
-	return Setup{Name: "SHiP-LLC", LLC: newSHiPLLC, WarmupKey: "SHiP-LLC"}
+func SHiPLLCSetup() Setup { return mustSetup("SHiP-LLC") }
+
+// bothSetup fuses a TLB-side and an LLC-side registry setup into one
+// combined machine.
+func bothSetup(name, tlbName, llcName string) Setup {
+	t, l := mustSetup(tlbName), mustSetup(llcName)
+	return Setup{Name: name, TLB: t.TLB, LLC: l.LLC}
 }
 
 // AIPBothSetup applies AIP to both the LLT and the LLC.
-func AIPBothSetup() Setup {
-	return Setup{Name: "AIP-TLB+LLC", TLB: newAIPTLB, LLC: newAIPLLC}
-}
+func AIPBothSetup() Setup { return bothSetup("AIP-TLB+LLC", "AIP-TLB", "AIP-LLC") }
 
 // SHiPBothSetup applies SHiP to both the LLT and the LLC.
-func SHiPBothSetup() Setup {
-	return Setup{Name: "SHiP-TLB+LLC", TLB: newSHiPTLB, LLC: newSHiPLLC}
-}
+func SHiPBothSetup() Setup { return bothSetup("SHiP-TLB+LLC", "SHiP-TLB", "SHiP-LLC") }
 
 // IsoStorageSetup grows the LLT by roughly dpPred's storage overhead
 // (≈11%, §VI-A): one extra way, 1024 → 1152 entries.
@@ -751,26 +742,22 @@ func OracleSetup() Setup {
 
 // --- Predictor constructors ----------------------------------------------
 
+// newDPPred and newCBPred resolve the paper's predictors through the
+// registry; sensitivity and extension experiments reuse them on modified
+// machine configurations (experiments that mutate the predictor configs
+// themselves construct through internal/core directly).
 func newDPPred(s *sim.System) (pred.TLBPredictor, error) {
-	return core.NewDPPred(core.DefaultDPPredConfig(s.LLT().Entries()))
+	reg, err := pred.Lookup("dpPred")
+	if err != nil {
+		return nil, err
+	}
+	return reg.NewTLB(s.LLT().Inner())
 }
 
 func newCBPred(s *sim.System) (pred.LLCPredictor, error) {
-	return core.NewCBPred(core.DefaultCBPredConfig(s.LLC().Capacity()))
-}
-
-func newAIPTLB(s *sim.System) (pred.TLBPredictor, error) {
-	return pred.NewAIPTLB(pred.DefaultAIPTLBConfig(s.LLT().Entries()), s.LLT().Inner())
-}
-
-func newSHiPTLB(s *sim.System) (pred.TLBPredictor, error) {
-	return pred.NewSHiPTLB(pred.DefaultSHiPTLBConfig(s.LLT().Entries()))
-}
-
-func newAIPLLC(s *sim.System) (pred.LLCPredictor, error) {
-	return pred.NewAIPLLC(pred.DefaultAIPLLCConfig(s.LLC().Capacity()), s.LLC())
-}
-
-func newSHiPLLC(s *sim.System) (pred.LLCPredictor, error) {
-	return pred.NewSHiPLLC(pred.DefaultSHiPLLCConfig(s.LLC().Capacity()))
+	reg, err := pred.Lookup("cbPred")
+	if err != nil {
+		return nil, err
+	}
+	return reg.NewLLC(s.LLC())
 }

@@ -36,19 +36,19 @@ func (s *randomSet) CloneSet(map[any]any) Set {
 }
 
 // CloneSet implements SetCloner. All sets of one DIP-managed structure
-// share a single PSEL counter; the shared map keeps that topology: exactly
-// one pselState copy is made per structure clone.
+// share a single duel/PSEL state; the shared map keeps that topology:
+// exactly one dipState copy is made per structure clone.
 func (s *dipSet) CloneSet(shared map[any]any) Set {
-	psel, ok := shared[s.psel].(*pselState)
+	st, ok := shared[s.st].(*dipState)
 	if !ok {
-		c := *s.psel
-		psel = &c
-		shared[s.psel] = psel
+		c := *s.st
+		st = &c
+		shared[s.st] = st
 	}
 	return &dipSet{
 		lru:  s.lru.CloneSet(shared).(*lruSet),
 		role: s.role,
-		psel: psel,
+		st:   st,
 	}
 }
 

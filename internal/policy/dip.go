@@ -10,17 +10,17 @@ package policy
 // cannot protect a reuse set from a same-set streaming PC the way a
 // dead-entry predictor can.
 //
-// Dueling is implemented with a shared PSEL counter owned by the Policy
-// value; the first leaderPeriod sets lead for LRU, the next for BIP, and
-// follower sets obey PSEL's sign.
+// The leader/follower partition and the shared PSEL counter live in the
+// reusable Duel selector (duel.go); DIP maps policy A to LRU insertion and
+// policy B to BIP.
 type DIP struct {
-	psel *pselState
+	st *dipState
 }
 
 // NewDIP creates a DIP policy. The returned value must be used for a
 // single structure (the PSEL counter is shared across its sets).
 func NewDIP() *DIP {
-	return &DIP{psel: &pselState{}}
+	return &DIP{st: &dipState{duel: *NewDuel(pselMax, leaderPeriod)}}
 }
 
 const (
@@ -34,8 +34,10 @@ const (
 	bipEpsilonInv = 32
 )
 
-type pselState struct {
-	counter int
+// dipState is the per-structure state every set shares: the dueling
+// selector plus BIP's epsilon tick.
+type dipState struct {
+	duel    Duel
 	nextSet int
 	bipTick uint64
 }
@@ -44,36 +46,22 @@ type pselState struct {
 func (*DIP) Name() string { return "DIP" }
 
 // NewSet implements Policy. Sets are created in index order by the cache
-// constructor; every leaderPeriod-th set leads LRU, the following one BIP.
+// constructor, so the duel's role mapping lands on every leaderPeriod-th
+// set leading LRU and the following one leading BIP.
 func (d *DIP) NewSet(ways int) Set {
-	idx := d.psel.nextSet
-	d.psel.nextSet++
-	role := followerSet
-	switch idx % leaderPeriod {
-	case 0:
-		role = lruLeader
-	case 1:
-		role = bipLeader
-	}
+	idx := d.st.nextSet
+	d.st.nextSet++
 	return &dipSet{
 		lru:  LRU{}.NewSet(ways).(*lruSet),
-		role: role,
-		psel: d.psel,
+		role: d.st.duel.RoleOf(idx),
+		st:   d.st,
 	}
 }
 
-type dipRole int
-
-const (
-	followerSet dipRole = iota
-	lruLeader
-	bipLeader
-)
-
 type dipSet struct {
 	lru  *lruSet
-	role dipRole
-	psel *pselState
+	role DuelRole
+	st   *dipState
 }
 
 func (s *dipSet) Touch(way int) { s.lru.Touch(way) }
@@ -82,24 +70,15 @@ func (s *dipSet) Insert(way int, hint InsertHint) {
 	// Every insert is a miss in this set; the leader sets train the
 	// shared PSEL counter (a miss in the LRU leader votes for BIP and
 	// vice versa).
-	switch s.role {
-	case lruLeader:
-		if s.psel.counter < pselMax {
-			s.psel.counter++
-		}
-	case bipLeader:
-		if s.psel.counter > -pselMax {
-			s.psel.counter--
-		}
-	}
+	s.st.duel.Miss(s.role)
 	if hint == InsertDistant {
 		s.lru.Insert(way, InsertDistant)
 		return
 	}
 	if s.useBIP() {
 		// BIP: insert at LRU position except one in ε inserts.
-		s.psel.bipTick++
-		if s.psel.bipTick%bipEpsilonInv != 0 {
+		s.st.bipTick++
+		if s.st.bipTick%bipEpsilonInv != 0 {
 			s.lru.Insert(way, InsertDistant)
 			return
 		}
@@ -110,12 +89,12 @@ func (s *dipSet) Insert(way int, hint InsertHint) {
 // useBIP decides the insertion flavour for this set.
 func (s *dipSet) useBIP() bool {
 	switch s.role {
-	case lruLeader:
+	case LeaderA:
 		return false
-	case bipLeader:
+	case LeaderB:
 		return true
 	default:
-		return s.psel.counter > 0 // positive PSEL = LRU is missing more
+		return s.st.duel.PreferB() // positive PSEL = LRU is missing more
 	}
 }
 

@@ -7,19 +7,19 @@ import (
 
 func TestDIPLeaderAssignment(t *testing.T) {
 	d := NewDIP()
-	roles := make([]dipRole, 2*leaderPeriod)
+	roles := make([]DuelRole, 2*leaderPeriod)
 	for i := range roles {
 		roles[i] = d.NewSet(4).(*dipSet).role
 	}
-	if roles[0] != lruLeader || roles[1] != bipLeader {
+	if roles[0] != LeaderA || roles[1] != LeaderB {
 		t.Errorf("first sets are %v,%v; want LRU leader then BIP leader", roles[0], roles[1])
 	}
-	if roles[leaderPeriod] != lruLeader || roles[leaderPeriod+1] != bipLeader {
+	if roles[leaderPeriod] != LeaderA || roles[leaderPeriod+1] != LeaderB {
 		t.Error("leader pattern does not repeat each period")
 	}
 	followers := 0
 	for _, r := range roles {
-		if r == followerSet {
+		if r == Follower {
 			followers++
 		}
 	}
@@ -34,9 +34,9 @@ func TestDIPFollowersTrackPSEL(t *testing.T) {
 	for i := 0; i < leaderPeriod; i++ {
 		s := d.NewSet(4).(*dipSet)
 		switch s.role {
-		case lruLeader:
+		case LeaderA:
 			lru = s
-		case bipLeader:
+		case LeaderB:
 			bip = s
 		default:
 			if follower == nil {
@@ -65,7 +65,7 @@ func TestDIPBimodalInsertion(t *testing.T) {
 	var bip *dipSet
 	for i := 0; i < 2; i++ {
 		s := d.NewSet(8).(*dipSet)
-		if s.role == bipLeader {
+		if s.role == LeaderB {
 			bip = s
 		}
 	}
@@ -94,8 +94,8 @@ func TestDIPPSELSaturates(t *testing.T) {
 	for i := 0; i < 10*pselMax; i++ {
 		lru.Insert(i%4, InsertMRU)
 	}
-	if d.psel.counter != pselMax {
-		t.Errorf("PSEL = %d, want saturation at %d", d.psel.counter, pselMax)
+	if d.st.duel.Counter() != pselMax {
+		t.Errorf("PSEL = %d, want saturation at %d", d.st.duel.Counter(), pselMax)
 	}
 }
 

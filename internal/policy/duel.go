@@ -1,0 +1,93 @@
+package policy
+
+// Duel is the set-dueling selector of Qureshi et al. (ISCA 2007),
+// extracted from DIP so other duels can reuse it: the predictor
+// tournament in internal/pred duels two prediction policies over the same
+// leader/follower set partition DIP uses for insertion policies.
+//
+// Two policies, A and B, each own a sparse slice of dedicated leader sets;
+// every remaining set is a follower. Misses in a leader set vote against
+// its own policy on a shared saturating counter (PSEL): a miss in an
+// A-leader pushes the counter toward B and vice versa. Followers obey the
+// counter's sign.
+type Duel struct {
+	counter int
+	max     int
+	period  int
+}
+
+// DuelRole classifies a set within a duel.
+type DuelRole int8
+
+const (
+	// Follower sets obey the PSEL counter's sign.
+	Follower DuelRole = iota
+	// LeaderA sets always use policy A and vote against it on a miss.
+	LeaderA
+	// LeaderB sets always use policy B and vote against it on a miss.
+	LeaderB
+)
+
+// NewDuel builds a selector whose PSEL counter saturates at ±max and whose
+// leader sets repeat every period sets (set 0 of each period leads A, set
+// 1 leads B). Non-positive arguments fall back to DIP's 10-bit counter and
+// 32-set period.
+func NewDuel(max, period int) *Duel {
+	if max <= 0 {
+		max = pselMax
+	}
+	if period < 2 {
+		period = leaderPeriod
+	}
+	return &Duel{max: max, period: period}
+}
+
+// RoleOf maps a set index to its dueling role.
+func (d *Duel) RoleOf(set int) DuelRole {
+	switch set % d.period {
+	case 0:
+		return LeaderA
+	case 1:
+		return LeaderB
+	default:
+		return Follower
+	}
+}
+
+// Miss records a miss in a set with the given role: leader misses vote
+// against their own policy, follower misses are ignored.
+func (d *Duel) Miss(r DuelRole) {
+	switch r {
+	case LeaderA:
+		if d.counter < d.max {
+			d.counter++
+		}
+	case LeaderB:
+		if d.counter > -d.max {
+			d.counter--
+		}
+	}
+}
+
+// PreferB reports the follower-set verdict: a positive counter means A's
+// leaders are missing more, so followers use B.
+func (d *Duel) PreferB() bool { return d.counter > 0 }
+
+// Counter exposes the PSEL value for telemetry.
+func (d *Duel) Counter() int { return d.counter }
+
+// StorageBits charges the PSEL counter (the leader-set mapping is derived
+// from set indices and costs no state).
+func (d *Duel) StorageBits() uint64 {
+	bits := uint64(1) // sign
+	for m := d.max; m > 0; m >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// Clone deep-copies the selector for warm-state forking.
+func (d *Duel) Clone() *Duel {
+	c := *d
+	return &c
+}

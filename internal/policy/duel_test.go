@@ -1,0 +1,74 @@
+package policy
+
+import "testing"
+
+func TestDuelRoleMapping(t *testing.T) {
+	d := NewDuel(pselMax, leaderPeriod)
+	for set := 0; set < 3*leaderPeriod; set++ {
+		want := Follower
+		switch set % leaderPeriod {
+		case 0:
+			want = LeaderA
+		case 1:
+			want = LeaderB
+		}
+		if got := d.RoleOf(set); got != want {
+			t.Fatalf("RoleOf(%d) = %v, want %v", set, got, want)
+		}
+	}
+}
+
+func TestDuelCounterSaturatesBothWays(t *testing.T) {
+	d := NewDuel(7, 4)
+	for i := 0; i < 100; i++ {
+		d.Miss(LeaderA)
+	}
+	if d.Counter() != 7 {
+		t.Errorf("counter = %d after A-leader misses, want +7", d.Counter())
+	}
+	if !d.PreferB() {
+		t.Error("A-leader misses should make followers prefer B")
+	}
+	for i := 0; i < 200; i++ {
+		d.Miss(LeaderB)
+	}
+	if d.Counter() != -7 {
+		t.Errorf("counter = %d after B-leader misses, want -7", d.Counter())
+	}
+	if d.PreferB() {
+		t.Error("B-leader misses should make followers prefer A")
+	}
+	// Follower misses never train.
+	before := d.Counter()
+	d.Miss(Follower)
+	if d.Counter() != before {
+		t.Error("follower miss moved the counter")
+	}
+}
+
+func TestDuelDefaultsMatchDIP(t *testing.T) {
+	d := NewDuel(0, 0)
+	if d.max != pselMax {
+		t.Errorf("default max = %d, want DIP's %d", d.max, pselMax)
+	}
+	if d.period != leaderPeriod {
+		t.Errorf("default period = %d, want DIP's %d", d.period, leaderPeriod)
+	}
+}
+
+func TestDuelClone(t *testing.T) {
+	d := NewDuel(pselMax, leaderPeriod)
+	d.Miss(LeaderA)
+	c := d.Clone()
+	c.Miss(LeaderA)
+	if d.Counter() == c.Counter() {
+		t.Error("clone shares counter with original")
+	}
+}
+
+func TestDuelStorageBits(t *testing.T) {
+	// A ±1023 counter is 10 magnitude bits + sign.
+	if got := NewDuel(pselMax, leaderPeriod).StorageBits(); got != 11 {
+		t.Errorf("StorageBits = %d, want 11", got)
+	}
+}

@@ -161,13 +161,18 @@ func closeEnough(a, b uint16) bool {
 	return d <= limit
 }
 
-// StorageBits implements the predictors' storage accounting.
-func (a *aip) StorageBits() uint64 {
-	tableBits := uint64(len(a.table)) * uint64(len(a.table[0])) *
-		uint64(a.cfg.ThresholdBits+1) // +1 confidence bit
-	entryBits := uint64(a.cfg.PerEntryBits) * uint64(a.cfg.Entries)
+// StorageBits reports the configuration's total state cost: the 2D table
+// plus the per-entry metadata. Exposed on the config so the registry can
+// account budgets without building a predictor.
+func (cfg AIPConfig) StorageBits() uint64 {
+	tableBits := (uint64(1) << cfg.PCBits) * (uint64(1) << cfg.AddrBits) *
+		uint64(cfg.ThresholdBits+1) // +1 confidence bit
+	entryBits := uint64(cfg.PerEntryBits) * uint64(cfg.Entries)
 	return tableBits + entryBits
 }
+
+// StorageBits implements the predictors' storage accounting.
+func (a *aip) StorageBits() uint64 { return a.cfg.StorageBits() }
 
 // AIPTLB applies AIP to the last-level TLB (AIP-TLB in §VI-A).
 type AIPTLB struct {

@@ -1,0 +1,239 @@
+// Leeway — a reuse-variability-aware dead page predictor in the style of
+// Faldu & Grot ("Leeway: Addressing Variability in Dead-Block Prediction
+// for Last-Level Caches", PACT 2017), the arena's second registry-only
+// competitor. Leeway learns, per PC signature, a *live distance*: how far
+// into an entry's residency its last reuse lands, here measured in
+// accesses to the entry's set (the same interval currency AIP uses, so
+// the guarded structure's existing per-entry counters carry it). The
+// novelty over AIP is the update policy: instead of trusting the last
+// generation, Leeway tracks each signature's reuse *variability* and
+// adapts — stable signatures shrink their live distance aggressively,
+// variable signatures only grow it, which avoids the premature kills that
+// plague point-estimate predictors on irregular workloads.
+//
+// Actuation: a resident entry whose set-access interval exceeds its
+// predicted live distance (with low variability) is marked dead for
+// preferred victimization; a signature with a *stable zero* live distance
+// is dead on arrival and inserted at the replacement position. Like SDBP
+// there is no shadow structure, so Leeway never bypasses.
+package pred
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/xhash"
+)
+
+// LeewayConfig sizes a Leeway predictor.
+type LeewayConfig struct {
+	// SigBits indexes the live-distance table with a PC hash; the table
+	// has 2^SigBits entries.
+	SigBits uint
+	// LDBits is the stored live-distance width; observations saturate
+	// at 2^LDBits - 1.
+	LDBits uint
+	// VarBits is the width of the per-signature variability counter,
+	// a saturating counter in [-2^(VarBits-1), 2^(VarBits-1)-1] that
+	// decays toward negative (stable) on agreeing generations.
+	VarBits uint
+	// PerEntryBits is the metadata charged per guarded entry (signature,
+	// interval counters, confidence bit), for storage accounting.
+	PerEntryBits uint
+	// Entries is the guarded structure's capacity, for storage
+	// accounting.
+	Entries int
+}
+
+// DefaultLeewayTLBConfig scales Leeway to the LLT: a 1024-entry live
+// distance table (10-bit PC hash), 10-bit distances, 4-bit variability.
+func DefaultLeewayTLBConfig(lltEntries int) LeewayConfig {
+	return LeewayConfig{
+		SigBits:      10,
+		LDBits:       10,
+		VarBits:      4,
+		PerEntryBits: 21,
+		Entries:      lltEntries,
+	}
+}
+
+// StorageBits charges the live-distance table (distance + variability +
+// valid bit per entry) and the per-entry metadata.
+func (cfg LeewayConfig) StorageBits() uint64 {
+	table := (uint64(1) << cfg.SigBits) * uint64(cfg.LDBits+cfg.VarBits+1)
+	perEntry := uint64(cfg.PerEntryBits) * uint64(cfg.Entries)
+	return table + perEntry
+}
+
+// leewayEntry is one signature's learned state.
+type leewayEntry struct {
+	ld    uint16 // predicted live distance, in set accesses
+	vr    int8   // variability counter; <= 0 means stable
+	valid bool
+}
+
+// LeewayTLB applies the reuse-variability dead page predictor to the LLT.
+type LeewayTLB struct {
+	cfg    LeewayConfig
+	table  []leewayEntry
+	target *cache.Cache
+	ldMax  uint16
+	vrMin  int8
+	vrMax  int8
+
+	predictions uint64
+	kills       uint64 // resident entries marked dead
+}
+
+// NewLeewayTLB builds Leeway over the LLT backing structure.
+func NewLeewayTLB(cfg LeewayConfig, llt *cache.Cache) (*LeewayTLB, error) {
+	if llt == nil {
+		return nil, fmt.Errorf("leeway: nil target structure")
+	}
+	if cfg.SigBits == 0 || cfg.SigBits > 16 {
+		return nil, fmt.Errorf("leeway: SigBits must be in [1,16], got %d", cfg.SigBits)
+	}
+	if cfg.LDBits == 0 || cfg.LDBits > 16 {
+		return nil, fmt.Errorf("leeway: LDBits must be in [1,16], got %d", cfg.LDBits)
+	}
+	if cfg.VarBits < 2 || cfg.VarBits > 8 {
+		return nil, fmt.Errorf("leeway: VarBits must be in [2,8], got %d", cfg.VarBits)
+	}
+	return &LeewayTLB{
+		cfg:    cfg,
+		table:  make([]leewayEntry, 1<<cfg.SigBits),
+		target: llt,
+		ldMax:  uint16(1<<cfg.LDBits - 1),
+		vrMin:  int8(-(1 << (cfg.VarBits - 1))),
+		vrMax:  int8(1<<(cfg.VarBits-1) - 1),
+	}, nil
+}
+
+// Name implements TLBPredictor.
+func (l *LeewayTLB) Name() string { return "Leeway-TLB" }
+
+// signature folds the filling PC into the table index width.
+func (l *LeewayTLB) signature(pc uint64) uint16 {
+	return uint16(xhash.PC(pc, l.cfg.SigBits))
+}
+
+// OnAccess implements AccessObserver: every set access advances the
+// resident entries' interval counters, and any entry past its predicted
+// live distance with a stable signature is marked dead for preferred
+// victimization.
+func (l *LeewayTLB) OnAccess(key uint64) {
+	l.target.BumpSetCounters(key)
+	l.target.ForEachInSet(key, func(w int, b *cache.Block) {
+		if b.AIPConf && b.AIPCount > b.AIPThreshold {
+			l.target.MarkDead(key, w)
+			l.kills++
+		}
+	})
+}
+
+// OnHit implements TLBPredictor: fold the observed interval into the
+// generation's live distance and restart the interval.
+func (l *LeewayTLB) OnHit(b *cache.Block) {
+	if b.AIPCount > b.AIPMax {
+		b.AIPMax = b.AIPCount
+	}
+	b.AIPCount = 0
+}
+
+// OnMiss implements TLBPredictor: Leeway has no victim buffer.
+func (l *LeewayTLB) OnMiss(arch.VPN, uint64) (arch.PFN, bool) { return 0, false }
+
+// OnFill implements TLBPredictor: a signature with a stable zero live
+// distance is predicted dead on arrival and demoted.
+func (l *LeewayTLB) OnFill(_ arch.VPN, _ arch.PFN, pc uint64) Decision {
+	sig := l.signature(pc)
+	d := Decision{PCHash: sig}
+	e := l.table[sig]
+	if e.valid && e.ld == 0 && e.vr <= 0 {
+		d.Hint = policy.InsertDistant
+		d.PredictDOA = true
+		l.predictions++
+	}
+	return d
+}
+
+// OnFillDone implements FillFinisher: the new entry inherits its
+// signature's predicted live distance; confidence is low variability.
+func (l *LeewayTLB) OnFillDone(b *cache.Block) {
+	e := l.table[b.PCHash]
+	if e.valid {
+		b.AIPThreshold = e.ld
+		b.AIPConf = e.vr <= 0
+	}
+}
+
+// OnEvict implements TLBPredictor: train the signature with the
+// generation's observed live distance under the variability-aware policy —
+// grow immediately, shrink only while the signature is stable.
+func (l *LeewayTLB) OnEvict(b cache.Block) {
+	observed := uint16(0)
+	if b.Accessed {
+		observed = b.AIPMax
+		if observed > l.ldMax {
+			observed = l.ldMax
+		}
+	}
+	e := &l.table[b.PCHash]
+	if !e.valid {
+		*e = leewayEntry{ld: observed, vr: 0, valid: true}
+		return
+	}
+	if observed == e.ld {
+		// Agreement: decay toward stable.
+		if e.vr > l.vrMin {
+			e.vr--
+		}
+		return
+	}
+	// Disagreement: more variable.
+	if e.vr < l.vrMax {
+		e.vr++
+	}
+	if observed > e.ld {
+		// Underpredicting a live distance kills live entries; grow
+		// unconditionally.
+		e.ld = observed
+	} else if e.vr <= 0 {
+		// Shrink only while the signature's history is stable.
+		e.ld = observed
+	}
+}
+
+// StorageBits implements TLBPredictor.
+func (l *LeewayTLB) StorageBits() uint64 { return l.cfg.StorageBits() }
+
+// PredictionQuality implements obs.QualitySource: Leeway detects none of
+// its own premature predictions (no shadow structure).
+func (l *LeewayTLB) PredictionQuality() (uint64, uint64) { return l.predictions, 0 }
+
+// RegisterMetrics implements obs.MetricSource.
+func (l *LeewayTLB) RegisterMetrics(r *obs.Registry) {
+	r.RegisterProbe("leeway.predictions", func() float64 { return float64(l.predictions) })
+	r.RegisterProbe("leeway.kills", func() float64 { return float64(l.kills) })
+}
+
+// CloneTLB implements ClonableTLB: copy the table, rebind the guarded
+// structure.
+func (l *LeewayTLB) CloneTLB(llt *cache.Cache) (TLBPredictor, error) {
+	c := *l
+	c.target = llt
+	c.table = append([]leewayEntry(nil), l.table...)
+	return &c, nil
+}
+
+var (
+	_ TLBPredictor      = (*LeewayTLB)(nil)
+	_ AccessObserver    = (*LeewayTLB)(nil)
+	_ FillFinisher      = (*LeewayTLB)(nil)
+	_ ClonableTLB       = (*LeewayTLB)(nil)
+	_ obs.QualitySource = (*LeewayTLB)(nil)
+	_ obs.MetricSource  = (*LeewayTLB)(nil)
+)

@@ -1,0 +1,188 @@
+package pred
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func testLeeway(t *testing.T, guard *cache.Cache) *LeewayTLB {
+	t.Helper()
+	if guard == nil {
+		guard = testGuard(t, 16, 4)
+	}
+	l, err := NewLeewayTLB(DefaultLeewayTLBConfig(guard.Capacity()), guard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// evict feeds one observed generation for a signature: accessed entries
+// report their deepest reuse interval, untouched entries observe zero.
+func leewayEvict(l *LeewayTLB, sig uint16, accessed bool, maxInterval uint16) {
+	l.OnEvict(cache.Block{PCHash: sig, Accessed: accessed, AIPMax: maxInterval})
+}
+
+// TestLeewayCounterBoundsUnderRandomStream is the satellite property test:
+// live distances never exceed 2^LDBits-1 and variability counters stay in
+// the signed 4-bit range, whatever the eviction stream.
+func TestLeewayCounterBoundsUnderRandomStream(t *testing.T) {
+	l := testLeeway(t, nil)
+	rng := rand.New(rand.NewSource(3))
+	// A small signature pool hammers each entry through many conflicting
+	// generations, including observations past the LD saturation point.
+	for i := 0; i < 50_000; i++ {
+		sig := uint16(rng.Intn(32))
+		leewayEvict(l, sig, rng.Intn(4) != 0, uint16(rng.Intn(1<<16)))
+	}
+	for sig, e := range l.table {
+		if e.ld > l.ldMax {
+			t.Fatalf("table[%d].ld = %d, outside [0,%d]", sig, e.ld, l.ldMax)
+		}
+		if e.vr < l.vrMin || e.vr > l.vrMax {
+			t.Fatalf("table[%d].vr = %d, outside [%d,%d]", sig, e.vr, l.vrMin, l.vrMax)
+		}
+	}
+	if l.vrMin != -8 || l.vrMax != 7 {
+		t.Fatalf("4-bit variability range is [%d,%d], want [-8,7]", l.vrMin, l.vrMax)
+	}
+	if l.ldMax != 1023 {
+		t.Fatalf("10-bit live distance saturates at %d, want 1023", l.ldMax)
+	}
+}
+
+// TestLeewayStableZeroPredictsDOA: a signature whose generations are
+// consistently untouched becomes a stable zero and its fills are demoted.
+func TestLeewayStableZeroPredictsDOA(t *testing.T) {
+	l := testLeeway(t, nil)
+	const pc = 0x1040
+	sig := l.signature(pc)
+	if d := l.OnFill(0, 0, pc); d.PredictDOA {
+		t.Fatal("untrained signature predicted DOA")
+	}
+	for i := 0; i < 4; i++ {
+		leewayEvict(l, sig, false, 0)
+	}
+	d := l.OnFill(0, 0, pc)
+	if !d.PredictDOA || d.Hint == 0 {
+		t.Fatalf("stable-zero signature not demoted: %+v", d)
+	}
+	if d.PCHash != sig {
+		t.Fatalf("decision carries signature %d, want %d", d.PCHash, sig)
+	}
+	// One live generation makes the signature variable again: no kill.
+	leewayEvict(l, sig, true, 9)
+	if d := l.OnFill(0, 0, pc); d.PredictDOA {
+		t.Fatal("variable signature still predicted DOA")
+	}
+}
+
+// TestLeewayGrowsImmediatelyShrinksWhenStable exercises the asymmetric
+// update rule that distinguishes Leeway from point-estimate predictors.
+func TestLeewayGrowsImmediatelyShrinksWhenStable(t *testing.T) {
+	l := testLeeway(t, nil)
+	const sig = 7
+	leewayEvict(l, sig, true, 5) // install: ld=5, vr=0
+	if e := l.table[sig]; !e.valid || e.ld != 5 || e.vr != 0 {
+		t.Fatalf("install: %+v", e)
+	}
+	leewayEvict(l, sig, true, 10) // underprediction: grow unconditionally
+	if e := l.table[sig]; e.ld != 10 || e.vr != 1 {
+		t.Fatalf("after growth: %+v", e)
+	}
+	leewayEvict(l, sig, true, 3) // variable (vr=1 > 0): no shrink
+	if e := l.table[sig]; e.ld != 10 || e.vr != 2 {
+		t.Fatalf("variable shrink should be refused: %+v", e)
+	}
+	// Agreeing generations decay variability back to stable.
+	leewayEvict(l, sig, true, 10)
+	leewayEvict(l, sig, true, 10)
+	leewayEvict(l, sig, true, 10)
+	if e := l.table[sig]; e.vr != -1 {
+		t.Fatalf("agreement should decay vr below zero: %+v", e)
+	}
+	leewayEvict(l, sig, true, 3) // stable now: shrink applies
+	if e := l.table[sig]; e.ld != 3 {
+		t.Fatalf("stable shrink refused: %+v", e)
+	}
+}
+
+// TestLeewayFillDoneLoadsPrediction: a new entry inherits its signature's
+// live distance and confidence through the FillFinisher hook.
+func TestLeewayFillDoneLoadsPrediction(t *testing.T) {
+	l := testLeeway(t, nil)
+	const sig = 11
+	leewayEvict(l, sig, true, 42)
+	leewayEvict(l, sig, true, 42) // agreement → vr=-1, stable
+	b := cache.Block{PCHash: sig}
+	l.OnFillDone(&b)
+	if b.AIPThreshold != 42 || !b.AIPConf {
+		t.Fatalf("fill-done loaded threshold=%d conf=%v, want 42/true", b.AIPThreshold, b.AIPConf)
+	}
+	var untrained cache.Block
+	untrained.PCHash = 12
+	l.OnFillDone(&untrained)
+	if untrained.AIPThreshold != 0 || untrained.AIPConf {
+		t.Fatalf("untrained signature loaded %d/%v", untrained.AIPThreshold, untrained.AIPConf)
+	}
+}
+
+// TestLeewayMarksResidentDead drives the AccessObserver path: a confident
+// resident entry whose interval counter passes its live distance is marked
+// dead in the guarded structure.
+func TestLeewayMarksResidentDead(t *testing.T) {
+	guard := testGuard(t, 4, 2)
+	l := testLeeway(t, guard)
+	// Install two entries in set 0; give one a confident live distance
+	// of 2 set-accesses.
+	stale, _, _ := guard.Fill(0, 0, 1)
+	stale.AIPThreshold = 2
+	stale.AIPConf = true
+	guard.Fill(4, 0, 2)
+	// Accesses to the *other* key age the stale entry past its distance.
+	for i := 0; i < 4; i++ {
+		l.OnAccess(4)
+	}
+	if l.kills == 0 {
+		t.Fatal("expired confident entry was never marked dead")
+	}
+}
+
+func TestLeewayCloneIndependence(t *testing.T) {
+	l := testLeeway(t, nil)
+	leewayEvict(l, 5, true, 100)
+	cp, err := l.CloneTLB(testGuard(t, 16, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cp.(*LeewayTLB)
+	leewayEvict(c, 5, true, 900)
+	if l.table[5].ld != 100 {
+		t.Fatalf("training the clone mutated the original (ld=%d)", l.table[5].ld)
+	}
+	if c.table[5].ld != 900 {
+		t.Fatalf("clone did not train (ld=%d)", c.table[5].ld)
+	}
+}
+
+func TestLeewayConfigValidation(t *testing.T) {
+	guard := testGuard(t, 16, 4)
+	bad := []LeewayConfig{
+		{SigBits: 0, LDBits: 10, VarBits: 4},
+		{SigBits: 17, LDBits: 10, VarBits: 4},
+		{SigBits: 10, LDBits: 0, VarBits: 4},
+		{SigBits: 10, LDBits: 17, VarBits: 4},
+		{SigBits: 10, LDBits: 10, VarBits: 1},
+		{SigBits: 10, LDBits: 10, VarBits: 9},
+	}
+	for i, cfg := range bad {
+		if _, err := NewLeewayTLB(cfg, guard); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewLeewayTLB(DefaultLeewayTLBConfig(64), nil); err == nil {
+		t.Fatal("nil guard accepted")
+	}
+}

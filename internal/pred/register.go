@@ -1,0 +1,88 @@
+package pred
+
+import "repro/internal/cache"
+
+// init registers the package's own competitors. dpPred, cbPred and the
+// tournament duels register from internal/core (their defining package).
+// The null baseline predictors are deliberately unregistered: the registry
+// rejects zero-budget entries, and the baseline is the normalization
+// target of every sweep, not a competitor.
+func init() {
+	MustRegister(Registration{
+		Name: "AIP-TLB",
+		Kind: KindTLB,
+		Caps: Caps{Victimizes: true},
+		NewTLB: func(llt *cache.Cache) (TLBPredictor, error) {
+			return NewAIPTLB(DefaultAIPTLBConfig(llt.Capacity()), llt)
+		},
+		StorageBits: func(entries int) uint64 {
+			return DefaultAIPTLBConfig(entries).StorageBits()
+		},
+	})
+	MustRegister(Registration{
+		Name: "AIP-LLC",
+		Kind: KindLLC,
+		Caps: Caps{Victimizes: true},
+		NewLLC: func(llc *cache.Cache) (LLCPredictor, error) {
+			return NewAIPLLC(DefaultAIPLLCConfig(llc.Capacity()), llc)
+		},
+		StorageBits: func(blocks int) uint64 {
+			return DefaultAIPLLCConfig(blocks).StorageBits()
+		},
+	})
+	MustRegister(Registration{
+		Name: "SHiP-TLB",
+		Kind: KindTLB,
+		Caps: Caps{Demotes: true},
+		NewTLB: func(llt *cache.Cache) (TLBPredictor, error) {
+			return NewSHiPTLB(DefaultSHiPTLBConfig(llt.Capacity()))
+		},
+		StorageBits: func(entries int) uint64 {
+			return DefaultSHiPTLBConfig(entries).StorageBits()
+		},
+	})
+	MustRegister(Registration{
+		Name: "SHiP-LLC",
+		Kind: KindLLC,
+		Caps: Caps{Demotes: true},
+		NewLLC: func(llc *cache.Cache) (LLCPredictor, error) {
+			return NewSHiPLLC(DefaultSHiPLLCConfig(llc.Capacity()))
+		},
+		StorageBits: func(blocks int) uint64 {
+			return DefaultSHiPLLCConfig(blocks).StorageBits()
+		},
+	})
+	MustRegister(Registration{
+		Name: "SDBP-TLB",
+		Kind: KindTLB,
+		Caps: Caps{Demotes: true},
+		NewTLB: func(llt *cache.Cache) (TLBPredictor, error) {
+			return NewSDBPTLB(DefaultSDBPTLBConfig(llt.Capacity()), llt)
+		},
+		StorageBits: func(entries int) uint64 {
+			return DefaultSDBPTLBConfig(entries).StorageBits()
+		},
+	})
+	MustRegister(Registration{
+		Name: "SDBP-LLC",
+		Kind: KindLLC,
+		Caps: Caps{Demotes: true},
+		NewLLC: func(llc *cache.Cache) (LLCPredictor, error) {
+			return NewSDBPLLC(DefaultSDBPLLCConfig(llc.Capacity()), llc)
+		},
+		StorageBits: func(blocks int) uint64 {
+			return DefaultSDBPLLCConfig(blocks).StorageBits()
+		},
+	})
+	MustRegister(Registration{
+		Name: "Leeway-TLB",
+		Kind: KindTLB,
+		Caps: Caps{Demotes: true, Victimizes: true},
+		NewTLB: func(llt *cache.Cache) (TLBPredictor, error) {
+			return NewLeewayTLB(DefaultLeewayTLBConfig(llt.Capacity()), llt)
+		},
+		StorageBits: func(entries int) uint64 {
+			return DefaultLeewayTLBConfig(entries).StorageBits()
+		},
+	})
+}

@@ -1,0 +1,170 @@
+package pred
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// okReg builds a minimally valid registration for error-path tests.
+func okReg(name string, kind Kind) Registration {
+	r := Registration{
+		Name:        name,
+		Kind:        kind,
+		StorageBits: func(int) uint64 { return 1 },
+	}
+	switch kind {
+	case KindTLB:
+		r.NewTLB = func(*cache.Cache) (TLBPredictor, error) { return NullTLB{}, nil }
+	case KindLLC:
+		r.NewLLC = func(*cache.Cache) (LLCPredictor, error) { return NullLLC{}, nil }
+	}
+	return r
+}
+
+func wantErr(t *testing.T, err error, frag string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want error containing %q, got nil", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("error %q does not mention %q", err, frag)
+	}
+}
+
+func TestRegistryRejectsEmptyName(t *testing.T) {
+	rs := newRegistrySet()
+	r := okReg("", KindTLB)
+	wantErr(t, rs.Register(r), "empty name")
+}
+
+func TestRegistryRejectsKindConstructorMismatch(t *testing.T) {
+	rs := newRegistrySet()
+
+	r := okReg("x", KindTLB)
+	r.NewTLB = nil
+	wantErr(t, rs.Register(r), "without a NewTLB constructor")
+
+	r = okReg("y", KindLLC)
+	r.NewLLC = nil
+	wantErr(t, rs.Register(r), "without a NewLLC constructor")
+
+	r = okReg("z", KindTLB)
+	r.Kind = 0
+	wantErr(t, rs.Register(r), "invalid kind")
+}
+
+func TestRegistryRejectsMissingAccounting(t *testing.T) {
+	rs := newRegistrySet()
+	r := okReg("x", KindTLB)
+	r.StorageBits = nil
+	wantErr(t, rs.Register(r), "without storage-budget accounting")
+}
+
+func TestRegistryRejectsZeroBudget(t *testing.T) {
+	rs := newRegistrySet()
+	r := okReg("free-lunch", KindTLB)
+	r.StorageBits = func(int) uint64 { return 0 }
+	err := rs.Register(r)
+	wantErr(t, err, "zero-budget registration")
+	wantErr(t, err, "free-lunch")
+}
+
+func TestRegistryRejectsDuplicate(t *testing.T) {
+	rs := newRegistrySet()
+	if err := rs.Register(okReg("twin", KindTLB)); err != nil {
+		t.Fatal(err)
+	}
+	wantErr(t, rs.Register(okReg("twin", KindLLC)), `duplicate predictor registration "twin"`)
+}
+
+func TestRegistryLookupUnknownListsRegistered(t *testing.T) {
+	rs := newRegistrySet()
+	for _, n := range []string{"beta", "alpha"} {
+		if err := rs.Register(okReg(n, KindTLB)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := rs.Lookup("gamma")
+	wantErr(t, err, `unknown predictor "gamma"`)
+	wantErr(t, err, "registered: alpha, beta")
+}
+
+func TestRegistryLookupCaseInsensitive(t *testing.T) {
+	rs := newRegistrySet()
+	if err := rs.Register(okReg("SHiP-TLB", KindTLB)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := rs.Lookup("ship-tlb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "SHiP-TLB" {
+		t.Fatalf("case-insensitive lookup resolved %q", r.Name)
+	}
+}
+
+func TestRegistryNamesSortedAndFiltered(t *testing.T) {
+	rs := newRegistrySet()
+	for _, r := range []Registration{okReg("c", KindTLB), okReg("a", KindLLC), okReg("b", KindTLB)} {
+		if err := rs.Register(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := rs.Names(0)
+	if got, want := strings.Join(all, ","), "a,b,c"; got != want {
+		t.Fatalf("Names(0) = %v, want %v", all, want)
+	}
+	tlbs := rs.Names(KindTLB)
+	if got, want := strings.Join(tlbs, ","), "b,c"; got != want {
+		t.Fatalf("Names(KindTLB) = %v, want %v", tlbs, want)
+	}
+}
+
+// TestDefaultRegistryConstructsAll builds every predictor this package
+// registers over a small structure and checks its budget accounting is
+// live (internal/core's registrations are exercised by the exp-layer
+// tests, which import both packages).
+func TestDefaultRegistryConstructsAll(t *testing.T) {
+	for _, name := range Names() {
+		reg, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		guard, err := cache.New(cache.Config{Name: "guard", Sets: 64, Ways: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bits uint64
+		switch reg.Kind {
+		case KindTLB:
+			p, err := reg.NewTLB(guard)
+			if err != nil {
+				t.Fatalf("%s: NewTLB: %v", name, err)
+			}
+			if p.Name() != name {
+				t.Fatalf("%s: predictor names itself %q", name, p.Name())
+			}
+			bits = p.StorageBits()
+		case KindLLC:
+			p, err := reg.NewLLC(guard)
+			if err != nil {
+				t.Fatalf("%s: NewLLC: %v", name, err)
+			}
+			if p.Name() != name {
+				t.Fatalf("%s: predictor names itself %q", name, p.Name())
+			}
+			bits = p.StorageBits()
+		default:
+			t.Fatalf("%s: bad kind %v", name, reg.Kind)
+		}
+		if bits == 0 {
+			t.Fatalf("%s: built predictor reports zero storage", name)
+		}
+		if reg.StorageBits(guard.Capacity()) != bits {
+			t.Fatalf("%s: registration accounts %d bits, predictor reports %d",
+				name, reg.StorageBits(guard.Capacity()), bits)
+		}
+	}
+}

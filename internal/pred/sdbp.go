@@ -1,0 +1,400 @@
+// SDBP — a sampler-based dead block predictor in the style of Khan,
+// Jiménez et al. ("Sampling Dead Block Prediction", MICRO 2010), the
+// arena's first registry-only competitor. A small decoupled *set sampler*
+// observes a sparse subset of the guarded structure's sets with its own
+// (deeper) LRU replacement; entries that leave the sampler without reuse
+// train "dead" and entries reused inside it train "live". Predictions come
+// from a skewed bank of three hashed tables of 2-bit saturating counters:
+// a fill whose three counters sum to at least the confidence threshold is
+// predicted dead on arrival and demoted to the replacement position (the
+// same LRU adaptation §VI-A applies to SHiP — there is no shadow table to
+// recover a wrong bypass, so SDBP never bypasses).
+//
+// Like SHiP, SDBP is purely PC-trained, so it shares SHiP's blindness to
+// same-PC mixed-reuse streams; unlike SHiP it decouples training from the
+// guarded structure's own replacement depth, which is the sampler's point.
+package pred
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/xhash"
+)
+
+// SDBPConfig sizes a sampler-based dead block predictor.
+type SDBPConfig struct {
+	// SamplerSets is the number of sampled sets (clamped to the guarded
+	// structure's set count).
+	SamplerSets int
+	// SamplerAssoc is the sampler's associativity; deeper than the
+	// guarded structure so reuse beyond the structure's LRU depth still
+	// trains "live".
+	SamplerAssoc int
+	// TableBits sizes each skewed prediction table at 2^TableBits
+	// counters.
+	TableBits uint
+	// CounterBits is the width of each prediction counter (2 in the
+	// original design: counters saturate at 3).
+	CounterBits uint
+	// Threshold is the confidence bound: a fill is predicted dead when
+	// the three skewed counters sum to at least this.
+	Threshold int
+	// SigBits is the partial-PC signature width stored in sampler
+	// entries and guarded entries.
+	SigBits uint
+	// TagBits is the partial-tag width of sampler entries.
+	TagBits uint
+	// Entries is the guarded structure's capacity, for per-entry
+	// signature storage accounting.
+	Entries int
+}
+
+// sdbpNumTables is the skew degree: three independently hashed tables
+// vote, which tolerates single-table aliasing.
+const sdbpNumTables = 3
+
+// DefaultSDBPTLBConfig follows the ChampSim-style SDBP sizing scaled to
+// the 1024-entry LLT: 32 sampled sets of 12 ways, three 4096-entry 2-bit
+// tables, threshold 8 of a maximum 9.
+func DefaultSDBPTLBConfig(lltEntries int) SDBPConfig {
+	return SDBPConfig{
+		SamplerSets:  32,
+		SamplerAssoc: 12,
+		TableBits:    12,
+		CounterBits:  2,
+		Threshold:    8,
+		SigBits:      15,
+		TagBits:      15,
+		Entries:      lltEntries,
+	}
+}
+
+// DefaultSDBPLLCConfig is the LLC-scale deployment over 2048 sets.
+func DefaultSDBPLLCConfig(llcBlocks int) SDBPConfig {
+	cfg := DefaultSDBPTLBConfig(llcBlocks)
+	cfg.SamplerSets = 64
+	return cfg
+}
+
+// StorageBits charges the skewed tables, the sampler array (valid bit,
+// partial tag, partial PC, 4-bit LRU stamp per entry) and the per-entry
+// signature the predictor stores in the guarded structure.
+func (cfg SDBPConfig) StorageBits() uint64 {
+	tables := uint64(sdbpNumTables) * (uint64(1) << cfg.TableBits) * uint64(cfg.CounterBits)
+	perSamplerEntry := uint64(cfg.TagBits) + uint64(cfg.SigBits) + 1 + 4
+	sampler := uint64(cfg.SamplerSets) * uint64(cfg.SamplerAssoc) * perSamplerEntry
+	perEntry := uint64(cfg.SigBits) * uint64(cfg.Entries)
+	return tables + sampler + perEntry
+}
+
+// sdbpSkew are the per-table hash constants: each table offsets the
+// signature and multiplies by a different odd mixing constant (the
+// splitmix64/murmur finalizer multipliers) before folding, so the three
+// index functions are pairwise independent — aliases in one table land
+// apart in the others.
+var sdbpSkew = [sdbpNumTables]struct{ mul, add uint64 }{
+	{0x9e3779b97f4a7c15, 0},
+	{0xbf58476d1ce4e5b9, 0xdead},
+	{0x94d049bb133111eb, 0xbeef},
+}
+
+// samplerEntry is one sampler way: partial tag, last filling PC signature
+// and an LRU stamp.
+type samplerEntry struct {
+	tag   uint16
+	sig   uint16
+	stamp uint32
+	valid bool
+}
+
+// sdbp is the shared engine behind the TLB and LLC variants.
+type sdbp struct {
+	name    string
+	cfg     SDBPConfig
+	tables  [][]uint8 // [table][index], contiguous backing
+	sampler []samplerEntry
+	guard   *cache.Cache
+	stride  int // guarded sets per sampled set
+	mask    uint64
+	ctrMax  uint8
+	clock   uint32
+
+	predictions      uint64
+	samplerHits      uint64
+	samplerEvictions uint64
+}
+
+func newSDBP(name string, cfg SDBPConfig, guard *cache.Cache) (*sdbp, error) {
+	if guard == nil {
+		return nil, fmt.Errorf("sdbp: nil guarded structure")
+	}
+	if cfg.TableBits == 0 || cfg.TableBits > 20 {
+		return nil, fmt.Errorf("sdbp: TableBits must be in [1,20], got %d", cfg.TableBits)
+	}
+	if cfg.CounterBits == 0 || cfg.CounterBits > 8 {
+		return nil, fmt.Errorf("sdbp: CounterBits must be in [1,8], got %d", cfg.CounterBits)
+	}
+	if cfg.SamplerSets <= 0 || cfg.SamplerAssoc <= 0 {
+		return nil, fmt.Errorf("sdbp: sampler geometry must be positive, got %dx%d",
+			cfg.SamplerSets, cfg.SamplerAssoc)
+	}
+	if cfg.SigBits == 0 || cfg.SigBits > 16 || cfg.TagBits == 0 || cfg.TagBits > 16 {
+		return nil, fmt.Errorf("sdbp: SigBits and TagBits must be in [1,16], got %d/%d",
+			cfg.SigBits, cfg.TagBits)
+	}
+	if cfg.Threshold <= 0 || cfg.Threshold > sdbpNumTables*int(1<<cfg.CounterBits-1) {
+		return nil, fmt.Errorf("sdbp: Threshold must be in [1,%d], got %d",
+			sdbpNumTables*int(1<<cfg.CounterBits-1), cfg.Threshold)
+	}
+	if cfg.SamplerSets > guard.Sets() {
+		cfg.SamplerSets = guard.Sets()
+	}
+	cols := 1 << cfg.TableBits
+	tables := make([][]uint8, sdbpNumTables)
+	backing := make([]uint8, sdbpNumTables*cols)
+	for t := range tables {
+		tables[t] = backing[t*cols : (t+1)*cols]
+	}
+	return &sdbp{
+		name:    name,
+		cfg:     cfg,
+		tables:  tables,
+		sampler: make([]samplerEntry, cfg.SamplerSets*cfg.SamplerAssoc),
+		guard:   guard,
+		stride:  guard.Sets() / cfg.SamplerSets,
+		mask:    uint64(cols - 1),
+		ctrMax:  uint8(1<<cfg.CounterBits - 1),
+	}, nil
+}
+
+// signature folds a PC into the partial-PC width.
+func (s *sdbp) signature(pc uint64) uint16 {
+	return uint16(xhash.PC(pc, s.cfg.SigBits))
+}
+
+// skewIndex hashes a signature into table t's index space. Each table uses
+// a distinct add-multiply mix before a self-XOR fold, so aliases in one
+// table land apart in the others (the confidence sum then absorbs
+// single-table collisions).
+func (s *sdbp) skewIndex(sig uint16, t int) int {
+	v := (uint64(sig) + sdbpSkew[t].add) * sdbpSkew[t].mul
+	v ^= v >> 32
+	v ^= v >> s.cfg.TableBits
+	return int(v & s.mask)
+}
+
+// confidence sums the three skewed counters for a signature.
+func (s *sdbp) confidence(sig uint16) int {
+	c := 0
+	for t := 0; t < sdbpNumTables; t++ {
+		c += int(s.tables[t][s.skewIndex(sig, t)])
+	}
+	return c
+}
+
+// train moves all three counters of a signature one step toward dead
+// (dir > 0) or live (dir < 0).
+func (s *sdbp) train(sig uint16, dir int) {
+	for t := 0; t < sdbpNumTables; t++ {
+		c := &s.tables[t][s.skewIndex(sig, t)]
+		if dir > 0 && *c < s.ctrMax {
+			*c++
+		} else if dir < 0 && *c > 0 {
+			*c--
+		}
+	}
+}
+
+// samplerSet maps a guarded-structure key to its sampler set, or ok=false
+// when the key's set is not sampled. Sampled sets are every stride-th set
+// of the guarded structure.
+func (s *sdbp) samplerSet(key uint64) (int, bool) {
+	gset := s.guard.SetIndex(key)
+	if s.stride == 0 || gset%s.stride != 0 {
+		return 0, false
+	}
+	sset := gset / s.stride
+	if sset >= s.cfg.SamplerSets {
+		return 0, false
+	}
+	return sset, true
+}
+
+// observe runs one access through the sampler: a sampler hit trains the
+// stored signature live and rewrites it with the current one; a sampler
+// miss victimizes the set's LRU entry, training its signature dead if the
+// victim was valid.
+func (s *sdbp) observe(key uint64, sig uint16) {
+	sset, ok := s.samplerSet(key)
+	if !ok {
+		return
+	}
+	s.clock++
+	tag := uint16(xhash.Fold(key, s.cfg.TagBits))
+	ways := s.sampler[sset*s.cfg.SamplerAssoc : (sset+1)*s.cfg.SamplerAssoc]
+	victim, victimStamp := 0, ^uint32(0)
+	for w := range ways {
+		e := &ways[w]
+		if e.valid && e.tag == tag {
+			s.samplerHits++
+			s.train(e.sig, -1)
+			e.sig = sig
+			e.stamp = s.clock
+			return
+		}
+		if !e.valid {
+			// An invalid way is always the preferred victim (and
+			// trains nothing).
+			victim, victimStamp = w, 0
+		} else if e.stamp < victimStamp {
+			victim, victimStamp = w, e.stamp
+		}
+	}
+	v := &ways[victim]
+	if v.valid {
+		// Left the sampler without reuse: the generation was dead.
+		s.samplerEvictions++
+		s.train(v.sig, +1)
+	}
+	*v = samplerEntry{tag: tag, sig: sig, stamp: s.clock, valid: true}
+}
+
+// onHit feeds the sampler with the reuse (the entry's fill-time signature
+// rides in Block.Sig).
+func (s *sdbp) onHit(b *cache.Block) {
+	s.observe(b.Key, b.Sig)
+}
+
+// onFill predicts with the pre-update table state, then trains the
+// sampler with the fill.
+func (s *sdbp) onFill(key uint64, pc uint64) Decision {
+	sig := s.signature(pc)
+	d := Decision{Sig: sig}
+	if s.confidence(sig) >= s.cfg.Threshold {
+		d.Hint = policy.InsertDistant
+		d.PredictDOA = true
+		s.predictions++
+	}
+	s.observe(key, sig)
+	return d
+}
+
+// StorageBits implements the predictors' storage accounting.
+func (s *sdbp) StorageBits() uint64 { return s.cfg.StorageBits() }
+
+// CounterHistogram implements obs.CounterHistogrammer over all three
+// skewed tables.
+func (s *sdbp) CounterHistogram() []uint64 {
+	return stats.Histogram8(s.ctrMax, s.tables...)
+}
+
+// PredictionQuality implements obs.QualitySource. SDBP has no shadow
+// structure, so it detects none of its own premature predictions.
+func (s *sdbp) PredictionQuality() (uint64, uint64) { return s.predictions, 0 }
+
+// RegisterMetrics implements obs.MetricSource.
+func (s *sdbp) RegisterMetrics(r *obs.Registry) {
+	r.RegisterProbe("sdbp.predictions", func() float64 { return float64(s.predictions) })
+	r.RegisterProbe("sdbp.sampler_hits", func() float64 { return float64(s.samplerHits) })
+	r.RegisterProbe("sdbp.sampler_evictions", func() float64 { return float64(s.samplerEvictions) })
+}
+
+// clone deep-copies the engine and rebinds the guarded structure.
+func (s *sdbp) clone(guard *cache.Cache) *sdbp {
+	c := *s
+	c.guard = guard
+	cols := len(s.tables[0])
+	c.tables = make([][]uint8, sdbpNumTables)
+	backing := make([]uint8, sdbpNumTables*cols)
+	for t := range c.tables {
+		copy(backing[t*cols:(t+1)*cols], s.tables[t])
+		c.tables[t] = backing[t*cols : (t+1)*cols]
+	}
+	c.sampler = append([]samplerEntry(nil), s.sampler...)
+	return &c
+}
+
+// SDBPTLB applies the sampler-based dead block predictor to the LLT.
+type SDBPTLB struct {
+	*sdbp
+}
+
+// NewSDBPTLB builds SDBP over the LLT backing structure.
+func NewSDBPTLB(cfg SDBPConfig, llt *cache.Cache) (*SDBPTLB, error) {
+	s, err := newSDBP("SDBP-TLB", cfg, llt)
+	if err != nil {
+		return nil, err
+	}
+	return &SDBPTLB{sdbp: s}, nil
+}
+
+// Name implements TLBPredictor.
+func (s *SDBPTLB) Name() string { return s.name }
+
+// OnHit implements TLBPredictor.
+func (s *SDBPTLB) OnHit(b *cache.Block) { s.onHit(b) }
+
+// OnMiss implements TLBPredictor: SDBP has no victim buffer.
+func (s *SDBPTLB) OnMiss(arch.VPN, uint64) (arch.PFN, bool) { return 0, false }
+
+// OnFill implements TLBPredictor.
+func (s *SDBPTLB) OnFill(vpn arch.VPN, _ arch.PFN, pc uint64) Decision {
+	return s.onFill(uint64(vpn), pc)
+}
+
+// OnEvict implements TLBPredictor: all training flows through the
+// decoupled sampler, never the guarded structure's own evictions.
+func (s *SDBPTLB) OnEvict(cache.Block) {}
+
+// CloneTLB implements ClonableTLB.
+func (s *SDBPTLB) CloneTLB(llt *cache.Cache) (TLBPredictor, error) {
+	return &SDBPTLB{sdbp: s.sdbp.clone(llt)}, nil
+}
+
+// SDBPLLC applies the sampler-based dead block predictor to the LLC.
+type SDBPLLC struct {
+	*sdbp
+}
+
+// NewSDBPLLC builds SDBP over the LLC backing structure.
+func NewSDBPLLC(cfg SDBPConfig, llc *cache.Cache) (*SDBPLLC, error) {
+	s, err := newSDBP("SDBP-LLC", cfg, llc)
+	if err != nil {
+		return nil, err
+	}
+	return &SDBPLLC{sdbp: s}, nil
+}
+
+// Name implements LLCPredictor.
+func (s *SDBPLLC) Name() string { return s.name }
+
+// OnHit implements LLCPredictor.
+func (s *SDBPLLC) OnHit(b *cache.Block) { s.onHit(b) }
+
+// OnFill implements LLCPredictor.
+func (s *SDBPLLC) OnFill(blockNum uint64, pc uint64) Decision {
+	return s.onFill(blockNum, pc)
+}
+
+// OnEvict implements LLCPredictor: sampler-trained, see SDBPTLB.OnEvict.
+func (s *SDBPLLC) OnEvict(cache.Block) {}
+
+// CloneLLC implements ClonableLLC.
+func (s *SDBPLLC) CloneLLC(llc *cache.Cache) (LLCPredictor, error) {
+	return &SDBPLLC{sdbp: s.sdbp.clone(llc)}, nil
+}
+
+var (
+	_ TLBPredictor            = (*SDBPTLB)(nil)
+	_ LLCPredictor            = (*SDBPLLC)(nil)
+	_ ClonableTLB             = (*SDBPTLB)(nil)
+	_ ClonableLLC             = (*SDBPLLC)(nil)
+	_ obs.CounterHistogrammer = (*SDBPTLB)(nil)
+	_ obs.QualitySource       = (*SDBPTLB)(nil)
+	_ obs.MetricSource        = (*SDBPTLB)(nil)
+)

@@ -1,0 +1,254 @@
+package pred
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+)
+
+// Property tests in the internal/core/property_test.go style: randomized
+// streams with fixed seeds, checking the structural invariants the storage
+// budget depends on — 2-bit counters never leave [0,3], the skewed tables
+// index disjointly, and the sampler never exceeds its geometry.
+
+func testGuard(t *testing.T, sets, ways int) *cache.Cache {
+	t.Helper()
+	c, err := cache.New(cache.Config{Name: "guard", Sets: sets, Ways: ways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// smallSDBPConfig forces collisions and sampler churn within short streams:
+// every fourth set sampled, 2-way sampler, 64-counter tables.
+func smallSDBPConfig() SDBPConfig {
+	return SDBPConfig{
+		SamplerSets:  4,
+		SamplerAssoc: 2,
+		TableBits:    6,
+		CounterBits:  2,
+		Threshold:    5,
+		SigBits:      8,
+		TagBits:      8,
+		Entries:      64,
+	}
+}
+
+func checkSDBPCounterBounds(t *testing.T, s *sdbp) {
+	t.Helper()
+	for ti, table := range s.tables {
+		for i, v := range table {
+			if v > s.ctrMax {
+				t.Fatalf("table[%d][%d] = %d, outside [0,%d]", ti, i, v, s.ctrMax)
+			}
+		}
+	}
+	h := s.CounterHistogram()
+	if len(h) != int(s.ctrMax)+1 {
+		t.Fatalf("CounterHistogram has %d buckets, want %d", len(h), int(s.ctrMax)+1)
+	}
+	var sum uint64
+	for _, n := range h {
+		sum += n
+	}
+	if want := uint64(sdbpNumTables * len(s.tables[0])); sum != want {
+		t.Fatalf("CounterHistogram tallies %d counters, tables hold %d", sum, want)
+	}
+}
+
+func TestSDBPCountersSaturateUnderRandomStream(t *testing.T) {
+	guard := testGuard(t, 16, 4)
+	p, err := NewSDBPTLB(smallSDBPConfig(), guard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50_000; i++ {
+		key := uint64(rng.Intn(128))
+		pc := uint64(rng.Intn(16)) * 4
+		switch rng.Intn(3) {
+		case 0, 1:
+			p.OnFill(arch.VPN(key), 0, pc)
+		case 2:
+			p.OnHit(&cache.Block{Key: key, Sig: uint16(rng.Intn(256))})
+		}
+	}
+	checkSDBPCounterBounds(t, p.sdbp)
+	if p.samplerHits == 0 || p.samplerEvictions == 0 {
+		t.Fatalf("stream never exercised the sampler (hits=%d evictions=%d)",
+			p.samplerHits, p.samplerEvictions)
+	}
+}
+
+// TestSDBPSkewIndexDisjointness checks the point of the skew: signatures
+// that alias in one table land apart in the others, so a single-table
+// collision cannot flip the three-way vote.
+func TestSDBPSkewIndexDisjointness(t *testing.T) {
+	guard := testGuard(t, 64, 16)
+	cfg := DefaultSDBPTLBConfig(1024)
+	p, err := NewSDBPTLB(cfg, guard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := 1 << cfg.TableBits
+	// All indices in range, and the maps are deterministic.
+	for sig := 0; sig < 1<<13; sig++ {
+		for ti := 0; ti < sdbpNumTables; ti++ {
+			idx := p.skewIndex(uint16(sig), ti)
+			if idx < 0 || idx >= cols {
+				t.Fatalf("skewIndex(%d, %d) = %d, outside [0,%d)", sig, ti, idx, cols)
+			}
+			if again := p.skewIndex(uint16(sig), ti); again != idx {
+				t.Fatalf("skewIndex(%d, %d) not deterministic: %d then %d", sig, ti, idx, again)
+			}
+		}
+	}
+	// Collect table-0 collision pairs (8192 signatures into 4096 buckets
+	// guarantees plenty), then measure how often the same pair collides
+	// in another table.
+	buckets := make(map[int][]uint16)
+	for sig := 0; sig < 1<<13; sig++ {
+		idx := p.skewIndex(uint16(sig), 0)
+		buckets[idx] = append(buckets[idx], uint16(sig))
+	}
+	pairs, repeats := 0, 0
+	for _, sigs := range buckets {
+		for i := 0; i < len(sigs); i++ {
+			for j := i + 1; j < len(sigs); j++ {
+				pairs++
+				for ti := 1; ti < sdbpNumTables; ti++ {
+					if p.skewIndex(sigs[i], ti) == p.skewIndex(sigs[j], ti) {
+						repeats++
+						break
+					}
+				}
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no table-0 collision pairs found; widen the signature sweep")
+	}
+	// Under independent hashing a pair re-collides in one of the two other
+	// 4096-entry tables with probability ≈ 2/4096 ≈ 0.05%. Allow 100× slack.
+	if frac := float64(repeats) / float64(pairs); frac > 0.05 {
+		t.Fatalf("%.2f%% of table-0 collision pairs also collide elsewhere (%d/%d); skews are not disjoint",
+			frac*100, repeats, pairs)
+	}
+}
+
+// TestSDBPSamplerTrainsThreshold drives a single signature dead through
+// sampler evictions until the prediction fires, then revives it with
+// sampler hits.
+func TestSDBPSamplerTrainsThreshold(t *testing.T) {
+	guard := testGuard(t, 16, 4)
+	cfg := smallSDBPConfig()
+	cfg.SamplerSets = 16 // stride 1: every guarded set sampled
+	cfg.SamplerAssoc = 1 // each fill victimizes the previous one
+	p, err := NewSDBPTLB(cfg, guard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pc = 0x40
+	// Alternate two keys in guarded set 0: with a 1-way sampler every
+	// fill evicts the other key's un-reused entry and trains pc dead.
+	for i := 0; i < 16; i++ {
+		p.OnFill(arch.VPN(uint64(i%2)*16), 0, pc)
+	}
+	d := p.OnFill(arch.VPN(0), 0, pc)
+	if !d.PredictDOA {
+		t.Fatalf("trained-dead signature not predicted DOA (confidence %d, threshold %d)",
+			p.confidence(p.signature(pc)), cfg.Threshold)
+	}
+	if d.Sig != p.signature(pc) {
+		t.Fatalf("decision carries signature %d, want %d", d.Sig, p.signature(pc))
+	}
+	// Reuse inside the sampler trains live and clears the prediction.
+	sig := p.signature(pc)
+	for i := 0; i < 16; i++ {
+		p.OnHit(&cache.Block{Key: 0, Sig: sig})
+	}
+	if d := p.OnFill(arch.VPN(0), 0, pc); d.PredictDOA {
+		t.Fatal("signature still predicted DOA after sustained sampler reuse")
+	}
+	checkSDBPCounterBounds(t, p.sdbp)
+}
+
+// TestSDBPIgnoresUnsampledSets checks the sampler's decoupling: keys whose
+// guarded set is off-stride never touch sampler or tables.
+func TestSDBPIgnoresUnsampledSets(t *testing.T) {
+	guard := testGuard(t, 16, 4)
+	p, err := NewSDBPTLB(smallSDBPConfig(), guard) // 4 sampled sets, stride 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		// Sets 1,2,3 of 16 — all off the stride-4 sampling grid.
+		p.OnFill(arch.VPN(1+uint64(i%3)), 0, uint64(i))
+	}
+	if p.samplerHits != 0 || p.samplerEvictions != 0 {
+		t.Fatalf("unsampled sets reached the sampler (hits=%d evictions=%d)",
+			p.samplerHits, p.samplerEvictions)
+	}
+	for ti, table := range p.tables {
+		for i, v := range table {
+			if v != 0 {
+				t.Fatalf("table[%d][%d] = %d after unsampled-only stream", ti, i, v)
+			}
+		}
+	}
+}
+
+func TestSDBPCloneIndependence(t *testing.T) {
+	guard := testGuard(t, 16, 4)
+	p, err := NewSDBPTLB(smallSDBPConfig(), guard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		p.OnFill(arch.VPN(uint64(i)), 0, uint64(i)*4)
+	}
+	before := p.CounterHistogram()
+	guard2 := testGuard(t, 16, 4)
+	cp, err := p.CloneTLB(guard2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		cp.OnFill(arch.VPN(uint64(i%2)*16), 0, 0x40)
+	}
+	after := p.CounterHistogram()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("training the clone mutated the original's tables")
+		}
+	}
+}
+
+func TestSDBPConfigValidation(t *testing.T) {
+	guard := testGuard(t, 16, 4)
+	bad := []func(*SDBPConfig){
+		func(c *SDBPConfig) { c.TableBits = 0 },
+		func(c *SDBPConfig) { c.TableBits = 21 },
+		func(c *SDBPConfig) { c.CounterBits = 0 },
+		func(c *SDBPConfig) { c.SamplerSets = 0 },
+		func(c *SDBPConfig) { c.SamplerAssoc = -1 },
+		func(c *SDBPConfig) { c.SigBits = 17 },
+		func(c *SDBPConfig) { c.TagBits = 0 },
+		func(c *SDBPConfig) { c.Threshold = 0 },
+		func(c *SDBPConfig) { c.Threshold = 10 }, // > 3 tables × counter max 3
+	}
+	for i, mutate := range bad {
+		cfg := smallSDBPConfig()
+		cfg.CounterBits = 2
+		mutate(&cfg)
+		if _, err := NewSDBPTLB(cfg, guard); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewSDBPTLB(smallSDBPConfig(), nil); err == nil {
+		t.Fatal("nil guard accepted")
+	}
+}

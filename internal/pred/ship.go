@@ -109,12 +109,17 @@ func (s *ship) onEvict(b cache.Block) {
 	}
 }
 
-// StorageBits counts the SHCT plus the per-entry signature and outcome bit.
-func (s *ship) StorageBits() uint64 {
-	shctBits := uint64(len(s.shct)) * uint64(s.cfg.CounterBits)
-	perEntry := uint64(s.cfg.SigBits+1) * uint64(s.cfg.Entries)
+// StorageBits counts the SHCT plus the per-entry signature and outcome
+// bit. Exposed on the config so the registry can account budgets without
+// building a predictor.
+func (cfg SHiPConfig) StorageBits() uint64 {
+	shctBits := (uint64(1) << cfg.SigBits) * uint64(cfg.CounterBits)
+	perEntry := uint64(cfg.SigBits+1) * uint64(cfg.Entries)
 	return shctBits + perEntry
 }
+
+// StorageBits implements the predictors' storage accounting.
+func (s *ship) StorageBits() uint64 { return s.cfg.StorageBits() }
 
 // SHiPTLB applies SHiP to the last-level TLB (SHiP-TLB in §VI-A).
 type SHiPTLB struct {

@@ -1,0 +1,340 @@
+// Tournament selection: the DIP set-dueling machinery (policy.Duel)
+// applied to whole predictors instead of insertion policies, so dpPred and
+// cbPred can be dueled against arena newcomers at runtime. Two contestant
+// predictors train side by side on every hook; the guarded structure's
+// sets are partitioned into sparse A/B leaders plus followers, a shared
+// PSEL counter tallies leader-set misses against their own contestant, and
+// each access *applies* only the decision of the side its set selects.
+//
+// Both contestants observe every OnFill and OnEvict (they train on ground
+// truth regardless of who is selected), which keeps the loser warm enough
+// to take over when the workload shifts. Metadata fields of the applied
+// decision are merged — the selected side wins, the other side's PC hash /
+// signature fills any field the winner left zero — so contestants that use
+// disjoint Block metadata (dpPred's PCHash, SDBP's Sig) both keep
+// training on hits and evictions. Policy-bearing fields (Bypass, Hint,
+// PredictDOA, SetDP) come strictly from the selected side. Contestants
+// that couple to the guarded structure itself (AccessObserver,
+// FillFinisher — AIP, Leeway) are rejected: their per-entry counters would
+// fight over the same Block fields.
+package pred
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/obs"
+	"repro/internal/policy"
+)
+
+// tournament is the shared selection state behind the TLB and LLC
+// variants.
+type tournament struct {
+	name  string
+	duel  *policy.Duel
+	guard *cache.Cache
+	selA  uint64 // decisions applied from contestant A
+	selB  uint64
+
+	predictions uint64
+}
+
+// useB reports whether the set's applied decision comes from contestant B.
+func (t *tournament) useB(set int) bool {
+	switch t.duel.RoleOf(set) {
+	case policy.LeaderA:
+		return false
+	case policy.LeaderB:
+		return true
+	default:
+		return t.duel.PreferB()
+	}
+}
+
+// merge applies the metadata-merge rule: policy fields from the selected
+// decision, metadata fields backfilled from the other side.
+func merge(sel, other Decision) Decision {
+	if sel.PCHash == 0 {
+		sel.PCHash = other.PCHash
+	}
+	if sel.Sig == 0 {
+		sel.Sig = other.Sig
+	}
+	return sel
+}
+
+// pick counts and returns the applied decision.
+func (t *tournament) pick(set int, dA, dB Decision) Decision {
+	var d Decision
+	if t.useB(set) {
+		t.selB++
+		d = merge(dB, dA)
+	} else {
+		t.selA++
+		d = merge(dA, dB)
+	}
+	if d.PredictDOA {
+		t.predictions++
+	}
+	return d
+}
+
+// PredictionQuality implements obs.QualitySource, counting applied DOA
+// predictions (each contestant additionally reports its own training-side
+// counts through its metrics, if registered).
+func (t *tournament) PredictionQuality() (uint64, uint64) { return t.predictions, 0 }
+
+// registerMetrics publishes the selector's own probes and forwards to the
+// contestants (within a run scope only one predictor guards a structure,
+// so probe names cannot collide).
+func (t *tournament) registerMetrics(r *obs.Registry, a, b any) {
+	r.RegisterProbe("duel.psel", func() float64 { return float64(t.duel.Counter()) })
+	r.RegisterProbe("duel.applied_a", func() float64 { return float64(t.selA) })
+	r.RegisterProbe("duel.applied_b", func() float64 { return float64(t.selB) })
+	for _, p := range []any{a, b} {
+		if m, ok := p.(obs.MetricSource); ok {
+			m.RegisterMetrics(r)
+		}
+	}
+}
+
+// checkContestant rejects structure-coupled predictors (see package
+// comment).
+func checkContestant(name string, p any) error {
+	if _, ok := p.(AccessObserver); ok {
+		return fmt.Errorf("tournament: contestant %s observes structure accesses and cannot be dueled", name)
+	}
+	if _, ok := p.(FillFinisher); ok {
+		return fmt.Errorf("tournament: contestant %s finishes fills in-place and cannot be dueled", name)
+	}
+	return nil
+}
+
+// TournamentTLB duels two TLB predictors over the LLT's sets.
+type TournamentTLB struct {
+	*tournament
+	a, b TLBPredictor
+}
+
+// NewTournamentTLB builds a TLB tournament. name labels the selector in
+// reports (contestants keep their own names for their metrics); guard is
+// the LLT backing structure whose set indices partition the duel.
+func NewTournamentTLB(name string, a, b TLBPredictor, guard *cache.Cache) (*TournamentTLB, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("tournament: nil contestant")
+	}
+	if guard == nil {
+		return nil, fmt.Errorf("tournament: nil guarded structure")
+	}
+	if err := checkContestant(a.Name(), a); err != nil {
+		return nil, err
+	}
+	if err := checkContestant(b.Name(), b); err != nil {
+		return nil, err
+	}
+	return &TournamentTLB{
+		tournament: &tournament{name: name, duel: policy.NewDuel(0, 0), guard: guard},
+		a:          a,
+		b:          b,
+	}, nil
+}
+
+// Name implements TLBPredictor.
+func (t *TournamentTLB) Name() string { return t.name }
+
+// OnHit implements TLBPredictor: both contestants observe the reuse.
+func (t *TournamentTLB) OnHit(b *cache.Block) {
+	t.a.OnHit(b)
+	t.b.OnHit(b)
+}
+
+// OnMiss implements TLBPredictor: the miss votes against the set's leader,
+// then only the selected contestant's victim buffer is consulted (handing
+// the translation to the unselected side would let a losing shadow table
+// mask the winner's misses).
+func (t *TournamentTLB) OnMiss(vpn arch.VPN, pc uint64) (arch.PFN, bool) {
+	set := t.guard.SetIndex(uint64(vpn))
+	t.duel.Miss(t.duel.RoleOf(set))
+	if t.useB(set) {
+		return t.b.OnMiss(vpn, pc)
+	}
+	return t.a.OnMiss(vpn, pc)
+}
+
+// OnFill implements TLBPredictor: both contestants predict and train; the
+// set's selected decision is applied.
+func (t *TournamentTLB) OnFill(vpn arch.VPN, pfn arch.PFN, pc uint64) Decision {
+	dA := t.a.OnFill(vpn, pfn, pc)
+	dB := t.b.OnFill(vpn, pfn, pc)
+	return t.pick(t.guard.SetIndex(uint64(vpn)), dA, dB)
+}
+
+// OnEvict implements TLBPredictor: ground truth trains both sides.
+func (t *TournamentTLB) OnEvict(b cache.Block) {
+	t.a.OnEvict(b)
+	t.b.OnEvict(b)
+}
+
+// StorageBits sums the contestants plus the shared PSEL counter (the
+// leader mapping is index-derived and free).
+func (t *TournamentTLB) StorageBits() uint64 {
+	return t.a.StorageBits() + t.b.StorageBits() + t.duel.StorageBits()
+}
+
+// RegisterMetrics implements obs.MetricSource.
+func (t *TournamentTLB) RegisterMetrics(r *obs.Registry) {
+	t.registerMetrics(r, t.a, t.b)
+}
+
+// AttachTracer implements obs.TraceAttacher, forwarding to contestants
+// that trace.
+func (t *TournamentTLB) AttachTracer(tr *obs.Tracer) {
+	for _, p := range []any{t.a, t.b} {
+		if ta, ok := p.(obs.TraceAttacher); ok {
+			ta.AttachTracer(tr)
+		}
+	}
+}
+
+// CloneTLB implements ClonableTLB when both contestants do.
+func (t *TournamentTLB) CloneTLB(llt *cache.Cache) (TLBPredictor, error) {
+	ca, ok := t.a.(ClonableTLB)
+	if !ok {
+		return nil, fmt.Errorf("tournament: contestant %s is not clonable", t.a.Name())
+	}
+	cb, ok := t.b.(ClonableTLB)
+	if !ok {
+		return nil, fmt.Errorf("tournament: contestant %s is not clonable", t.b.Name())
+	}
+	a2, err := ca.CloneTLB(llt)
+	if err != nil {
+		return nil, err
+	}
+	b2, err := cb.CloneTLB(llt)
+	if err != nil {
+		return nil, err
+	}
+	st := *t.tournament
+	st.duel = t.duel.Clone()
+	st.guard = llt
+	return &TournamentTLB{tournament: &st, a: a2, b: b2}, nil
+}
+
+// TournamentLLC duels two LLC predictors over the LLC's sets. Every
+// OnFill is a miss in its set, which is where the duel trains.
+type TournamentLLC struct {
+	*tournament
+	a, b LLCPredictor
+}
+
+// NewTournamentLLC builds an LLC tournament over the LLC backing
+// structure.
+func NewTournamentLLC(name string, a, b LLCPredictor, guard *cache.Cache) (*TournamentLLC, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("tournament: nil contestant")
+	}
+	if guard == nil {
+		return nil, fmt.Errorf("tournament: nil guarded structure")
+	}
+	if err := checkContestant(a.Name(), a); err != nil {
+		return nil, err
+	}
+	if err := checkContestant(b.Name(), b); err != nil {
+		return nil, err
+	}
+	return &TournamentLLC{
+		tournament: &tournament{name: name, duel: policy.NewDuel(0, 0), guard: guard},
+		a:          a,
+		b:          b,
+	}, nil
+}
+
+// Name implements LLCPredictor.
+func (t *TournamentLLC) Name() string { return t.name }
+
+// OnHit implements LLCPredictor.
+func (t *TournamentLLC) OnHit(b *cache.Block) {
+	t.a.OnHit(b)
+	t.b.OnHit(b)
+}
+
+// OnFill implements LLCPredictor: the fill is this set's miss, so it
+// votes against the leader before the selected decision is applied.
+func (t *TournamentLLC) OnFill(blockNum uint64, pc uint64) Decision {
+	set := t.guard.SetIndex(blockNum)
+	t.duel.Miss(t.duel.RoleOf(set))
+	dA := t.a.OnFill(blockNum, pc)
+	dB := t.b.OnFill(blockNum, pc)
+	return t.pick(set, dA, dB)
+}
+
+// OnEvict implements LLCPredictor.
+func (t *TournamentLLC) OnEvict(b cache.Block) {
+	t.a.OnEvict(b)
+	t.b.OnEvict(b)
+}
+
+// NotifyDOAPage implements DOAPageListener, forwarding the TLB side's
+// DOA-page announcements to contestants that consume them (cbPred's PFQ).
+func (t *TournamentLLC) NotifyDOAPage(pfn arch.PFN) {
+	for _, p := range []any{t.a, t.b} {
+		if l, ok := p.(DOAPageListener); ok {
+			l.NotifyDOAPage(pfn)
+		}
+	}
+}
+
+// StorageBits sums the contestants plus the shared PSEL counter.
+func (t *TournamentLLC) StorageBits() uint64 {
+	return t.a.StorageBits() + t.b.StorageBits() + t.duel.StorageBits()
+}
+
+// RegisterMetrics implements obs.MetricSource.
+func (t *TournamentLLC) RegisterMetrics(r *obs.Registry) {
+	t.registerMetrics(r, t.a, t.b)
+}
+
+// AttachTracer implements obs.TraceAttacher.
+func (t *TournamentLLC) AttachTracer(tr *obs.Tracer) {
+	for _, p := range []any{t.a, t.b} {
+		if ta, ok := p.(obs.TraceAttacher); ok {
+			ta.AttachTracer(tr)
+		}
+	}
+}
+
+// CloneLLC implements ClonableLLC when both contestants do.
+func (t *TournamentLLC) CloneLLC(llc *cache.Cache) (LLCPredictor, error) {
+	ca, ok := t.a.(ClonableLLC)
+	if !ok {
+		return nil, fmt.Errorf("tournament: contestant %s is not clonable", t.a.Name())
+	}
+	cb, ok := t.b.(ClonableLLC)
+	if !ok {
+		return nil, fmt.Errorf("tournament: contestant %s is not clonable", t.b.Name())
+	}
+	a2, err := ca.CloneLLC(llc)
+	if err != nil {
+		return nil, err
+	}
+	b2, err := cb.CloneLLC(llc)
+	if err != nil {
+		return nil, err
+	}
+	st := *t.tournament
+	st.duel = t.duel.Clone()
+	st.guard = llc
+	return &TournamentLLC{tournament: &st, a: a2, b: b2}, nil
+}
+
+var (
+	_ TLBPredictor      = (*TournamentTLB)(nil)
+	_ LLCPredictor      = (*TournamentLLC)(nil)
+	_ ClonableTLB       = (*TournamentTLB)(nil)
+	_ ClonableLLC       = (*TournamentLLC)(nil)
+	_ DOAPageListener   = (*TournamentLLC)(nil)
+	_ obs.QualitySource = (*TournamentTLB)(nil)
+	_ obs.MetricSource  = (*TournamentTLB)(nil)
+	_ obs.TraceAttacher = (*TournamentTLB)(nil)
+)

@@ -1,0 +1,253 @@
+package pred
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/policy"
+)
+
+// fakeTLB is a scripted contestant: it returns a fixed decision and counts
+// every hook so tests can see who trained and who was applied.
+type fakeTLB struct {
+	name    string
+	dec     Decision
+	fills   int
+	hits    int
+	evicts  int
+	misses  int
+	pfn     arch.PFN
+	handled bool
+}
+
+func (f *fakeTLB) Name() string        { return f.name }
+func (f *fakeTLB) OnHit(*cache.Block)  { f.hits++ }
+func (f *fakeTLB) OnEvict(cache.Block) { f.evicts++ }
+func (f *fakeTLB) StorageBits() uint64 { return 100 }
+func (f *fakeTLB) OnMiss(arch.VPN, uint64) (arch.PFN, bool) {
+	f.misses++
+	return f.pfn, f.handled
+}
+func (f *fakeTLB) OnFill(arch.VPN, arch.PFN, uint64) Decision {
+	f.fills++
+	return f.dec
+}
+
+// accessObservingTLB and fillFinishingTLB are structure-coupled
+// contestants the tournament must reject.
+type accessObservingTLB struct{ fakeTLB }
+
+func (*accessObservingTLB) OnAccess(uint64) {}
+
+type fillFinishingTLB struct{ fakeTLB }
+
+func (*fillFinishingTLB) OnFillDone(*cache.Block) {}
+
+// newFakeDuel builds a tournament over a 64-set guard with contestant A
+// predicting DOA (with a PC hash) and contestant B passing (with a
+// signature), so the applied side and the metadata merge are both visible
+// in the returned decision.
+func newFakeDuel(t *testing.T) (*TournamentTLB, *fakeTLB, *fakeTLB) {
+	t.Helper()
+	a := &fakeTLB{name: "A", dec: Decision{PredictDOA: true, Hint: policy.InsertDistant, PCHash: 7}}
+	b := &fakeTLB{name: "B", dec: Decision{Sig: 9}}
+	tt, err := NewTournamentTLB("duel(A,B)", a, b, testGuard(t, 64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tt, a, b
+}
+
+// Leader sets repeat every 32 sets: set 0 leads A, set 1 leads B, set 2 is
+// a follower (policy.NewDuel defaults).
+const (
+	leaderASet = arch.VPN(0)
+	leaderBSet = arch.VPN(1)
+	followSet  = arch.VPN(2)
+)
+
+func TestTournamentLeaderSetsApplyTheirSide(t *testing.T) {
+	tt, a, b := newFakeDuel(t)
+
+	d := tt.OnFill(leaderASet, 0, 0)
+	if !d.PredictDOA || d.PCHash != 7 {
+		t.Fatalf("A-leader set did not apply A: %+v", d)
+	}
+	if d.Sig != 9 {
+		t.Fatalf("A's decision missing B's backfilled signature: %+v", d)
+	}
+
+	d = tt.OnFill(leaderBSet, 0, 0)
+	if d.PredictDOA {
+		t.Fatalf("B-leader set applied A's prediction: %+v", d)
+	}
+	if d.Sig != 9 || d.PCHash != 7 {
+		t.Fatalf("metadata merge lost a side: %+v", d)
+	}
+
+	if a.fills != 2 || b.fills != 2 {
+		t.Fatalf("both contestants must train on every fill: A=%d B=%d", a.fills, b.fills)
+	}
+}
+
+func TestTournamentFollowerObeysPSEL(t *testing.T) {
+	tt, _, _ := newFakeDuel(t)
+
+	if d := tt.OnFill(followSet, 0, 0); !d.PredictDOA {
+		t.Fatalf("zero PSEL should prefer A: %+v", d)
+	}
+	// Misses in A-leader sets vote against A.
+	for i := 0; i < 3; i++ {
+		tt.OnMiss(leaderASet, 0)
+	}
+	if d := tt.OnFill(followSet, 0, 0); d.PredictDOA {
+		t.Fatalf("followers should have swung to B: %+v", d)
+	}
+	// Heavier misses in B-leader sets swing the duel back.
+	for i := 0; i < 6; i++ {
+		tt.OnMiss(leaderBSet, 0)
+	}
+	if d := tt.OnFill(followSet, 0, 0); !d.PredictDOA {
+		t.Fatalf("followers should have swung back to A: %+v", d)
+	}
+}
+
+func TestTournamentMissConsultsSelectedVictimBufferOnly(t *testing.T) {
+	tt, a, b := newFakeDuel(t)
+	a.pfn, a.handled = 42, true
+
+	pfn, ok := tt.OnMiss(leaderASet, 0)
+	if !ok || pfn != 42 {
+		t.Fatalf("A-leader miss not served by A's victim buffer: (%d,%v)", pfn, ok)
+	}
+	if a.misses != 1 || b.misses != 0 {
+		t.Fatalf("losing side's victim buffer was consulted: A=%d B=%d", a.misses, b.misses)
+	}
+	if _, ok := tt.OnMiss(leaderBSet, 0); ok {
+		t.Fatal("B has no victim buffer but the miss was handled")
+	}
+	if b.misses != 1 {
+		t.Fatalf("B-leader miss bypassed B: %d", b.misses)
+	}
+}
+
+func TestTournamentTrainsBothSidesOnGroundTruth(t *testing.T) {
+	tt, a, b := newFakeDuel(t)
+	tt.OnHit(&cache.Block{})
+	tt.OnEvict(cache.Block{})
+	if a.hits != 1 || b.hits != 1 || a.evicts != 1 || b.evicts != 1 {
+		t.Fatalf("hooks not forwarded to both sides: A(h=%d,e=%d) B(h=%d,e=%d)",
+			a.hits, a.evicts, b.hits, b.evicts)
+	}
+}
+
+func TestTournamentRejectsCoupledContestants(t *testing.T) {
+	guard := testGuard(t, 64, 4)
+	plain := &fakeTLB{name: "plain"}
+
+	_, err := NewTournamentTLB("d", &accessObservingTLB{fakeTLB{name: "aip-ish"}}, plain, guard)
+	if err == nil || !strings.Contains(err.Error(), "cannot be dueled") {
+		t.Fatalf("access-observing contestant accepted: %v", err)
+	}
+	_, err = NewTournamentTLB("d", plain, &fillFinishingTLB{fakeTLB{name: "leeway-ish"}}, guard)
+	if err == nil || !strings.Contains(err.Error(), "cannot be dueled") {
+		t.Fatalf("fill-finishing contestant accepted: %v", err)
+	}
+	if _, err := NewTournamentTLB("d", nil, plain, guard); err == nil {
+		t.Fatal("nil contestant accepted")
+	}
+	if _, err := NewTournamentTLB("d", plain, &fakeTLB{name: "b"}, nil); err == nil {
+		t.Fatal("nil guard accepted")
+	}
+}
+
+func TestTournamentStorageBitsSumsSides(t *testing.T) {
+	tt, _, _ := newFakeDuel(t)
+	// Two 100-bit fakes plus the shared 11-bit PSEL.
+	if got := tt.StorageBits(); got != 211 {
+		t.Fatalf("StorageBits = %d, want 211", got)
+	}
+}
+
+func TestTournamentCloneIndependence(t *testing.T) {
+	guard := testGuard(t, 64, 4)
+	a, err := NewSDBPTLB(smallSDBPConfig(), guard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSDBPTLB(DefaultSDBPTLBConfig(guard.Capacity()), guard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := NewTournamentTLB("duel(S,S)", a, b, guard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := tt.CloneTLB(testGuard(t, 64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		tt.OnMiss(leaderASet, 0)
+	}
+	if got := cp.(*TournamentTLB).duel.Counter(); got != 0 {
+		t.Fatalf("original's votes leaked into the clone's PSEL: %d", got)
+	}
+
+	// Scripted fakes are not clonable and must refuse cleanly.
+	ft, _, _ := newFakeDuel(t)
+	if _, err := ft.CloneTLB(guard); err == nil {
+		t.Fatal("clone of unclonable contestants accepted")
+	}
+}
+
+// fakeLLC mirrors fakeTLB on the LLC interface; the listener variant
+// records forwarded DOA-page notifications.
+type fakeLLC struct {
+	name  string
+	dec   Decision
+	fills int
+}
+
+func (f *fakeLLC) Name() string        { return f.name }
+func (f *fakeLLC) OnHit(*cache.Block)  {}
+func (f *fakeLLC) OnEvict(cache.Block) {}
+func (f *fakeLLC) StorageBits() uint64 { return 50 }
+func (f *fakeLLC) OnFill(uint64, uint64) Decision {
+	f.fills++
+	return f.dec
+}
+
+type listenerLLC struct {
+	fakeLLC
+	doa int
+}
+
+func (l *listenerLLC) NotifyDOAPage(arch.PFN) { l.doa++ }
+
+func TestTournamentLLCVotesAndForwardsDOA(t *testing.T) {
+	a := &listenerLLC{fakeLLC: fakeLLC{name: "A", dec: Decision{SetDP: true}}}
+	b := &fakeLLC{name: "B"}
+	tt, err := NewTournamentLLC("duel(A,B)", a, b, testGuard(t, 64, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every LLC fill is its set's miss: A-leader fills vote against A.
+	if d := tt.OnFill(0, 0); !d.SetDP {
+		t.Fatalf("A-leader set did not apply A: %+v", d)
+	}
+	if tt.duel.Counter() != 1 {
+		t.Fatalf("fill in an A-leader set did not vote: %d", tt.duel.Counter())
+	}
+	if a.fills != 1 || b.fills != 1 {
+		t.Fatalf("both contestants must train on every fill: A=%d B=%d", a.fills, b.fills)
+	}
+
+	tt.NotifyDOAPage(5)
+	if a.doa != 1 {
+		t.Fatalf("DOA-page notification not forwarded to the listening side: %d", a.doa)
+	}
+}
