@@ -12,6 +12,19 @@
 // {cbPred,SHiP,AIP}. Unknown names list the registered set. cbPred (and
 // any predictor registered with NeedsDOACoupling) requires a bypassing
 // TLB-side driver such as dpPred (§V-B).
+//
+// Multi-core, multi-tenant runs (DESIGN.md §15):
+//
+//	deadsim -cores 4 -tenants 4 -quantum 10000 -shootdown asid -unmap-every 50000 -tlb dpPred -llc cbPred -accuracy
+//
+// -cores/-tenants (or a nonzero -unmap-every) select the multi-core
+// machine: per-core private L1 TLBs and L1D/L2 over a shared LLT and LLC,
+// one address space per tenant (ASID-tagged), round-robin scheduling with
+// -quantum accesses per slice, and a page unmap plus TLB shootdown
+// (-shootdown asid|full) per tenant every -unmap-every accesses. The
+// defaults keep the single-machine path and its output byte-identical.
+// -serve and -metrics-out work in this mode; -trace, -trace-out,
+// -characterize, the oracle and checkpoint flags are single-machine only.
 package main
 
 import (
@@ -72,6 +85,12 @@ func run() error {
 		llcKB     = flag.Int("llckb", 2048, "LLC size in KB")
 		accuracy  = flag.Bool("accuracy", false, "grade predictions against mirror ground truth")
 		deadScan  = flag.Bool("characterize", false, "sample dead/DOA entry fractions (§IV)")
+
+		cores      = flag.Int("cores", 1, "simulated cores sharing the LLT and LLC (>1 selects the multi-core machine)")
+		tenants    = flag.Int("tenants", 1, "tenant address spaces round-robined across cores (>1 selects the multi-core machine)")
+		quantum    = flag.Uint64("quantum", 10_000, "context-switch quantum in accesses for cores running several tenants (0 = never switch)")
+		shootdown  = flag.String("shootdown", "asid", "TLB shootdown policy on unmap: asid (flush the unmapping tenant's entries) or full (flush everything)")
+		unmapEvery = flag.Uint64("unmap-every", 0, "inject one page unmap plus shootdown per tenant every N accesses (0 = never; >0 selects the multi-core machine)")
 
 		ckptOut = flag.String("checkpoint-out", "", "after warmup, write the machine's warm state to file, then measure as usual")
 		ckptIn  = flag.String("checkpoint-in", "", "restore warm state from file instead of running warmup")
@@ -145,6 +164,7 @@ func run() error {
 		}
 		tlbReg = &reg
 	}
+	var llcReg *pred.Registration
 	if strings.ToLower(*llcPred) != "none" {
 		reg, err := pred.Lookup(resolveAlias(*llcPred, llcAliases))
 		if err != nil {
@@ -159,9 +179,36 @@ func run() error {
 		setup.LLC = func(s *sim.System) (pred.LLCPredictor, error) {
 			return reg.NewLLC(s.LLC())
 		}
+		llcReg = &reg
 	}
 	setup.Config = func() sim.Config { return cfg }
 	setup.Instrument = exp.Instrumentation{Accuracy: *accuracy, Characterize: *deadScan}
+
+	// -cores/-tenants/-unmap-every select the multi-core machine (DESIGN.md
+	// §15). The single-machine path below is untouched — and byte-identical
+	// — at the 1-core, 1-tenant, no-unmap defaults.
+	multicore := *cores > 1 || *tenants > 1 || *unmapEvery > 0
+	var mcfg sim.MultiConfig
+	if multicore {
+		policy, err := sim.ParseShootdown(*shootdown)
+		if err != nil {
+			return err
+		}
+		mcfg = sim.MultiConfig{Machine: cfg, Cores: *cores, Tenants: *tenants,
+			Quantum: *quantum, Shootdown: policy, UnmapEvery: *unmapEvery}
+		switch {
+		case *traceFile != "":
+			return fmt.Errorf("-trace replays one recorded stream; multi-core runs need per-tenant synthetic workloads")
+		case setup.Oracle:
+			return fmt.Errorf("the oracle's two-pass protocol is single-machine only")
+		case *deadScan:
+			return fmt.Errorf("-characterize is single-machine only")
+		case *ckptOut != "" || *ckptIn != "":
+			return fmt.Errorf("multi-core checkpoints are API-only (sim.MultiSystem.WriteCheckpoint); drop -checkpoint-out/-checkpoint-in")
+		case *traceOut != "":
+			return fmt.Errorf("-trace-out hook events are single-machine only; use -metrics-out or -serve for multi-core observability")
+		}
+	}
 
 	if *cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(*cpuprofile)
@@ -186,6 +233,7 @@ func run() error {
 
 	r := exp.NewRunner(exp.Params{Warmup: *warmup, Measure: *measure, Seed: *seed, SampleEvery: 20_000})
 	r.SetContext(ctx)
+	var board *serve.Board
 	if *serveAddr != "" {
 		// Single-cell board: the one workload/setup pair still gets
 		// queued/start/done transitions, and /metrics serves the run's
@@ -196,7 +244,7 @@ func run() error {
 		if observer.Metrics == nil {
 			observer.Metrics = obs.NewRegistry()
 		}
-		board := serve.NewBoard()
+		board = serve.NewBoard()
 		r.Status = board
 		server := serve.NewServer(observer.Metrics, board)
 		addr, err := server.Start(*serveAddr)
@@ -216,7 +264,15 @@ func run() error {
 	}
 	r.Observer = observer
 	var res sim.Result
-	if *ckptOut != "" || *ckptIn != "" {
+	var mres sim.MultiResult
+	switch {
+	case multicore:
+		var metrics *obs.Registry
+		if observer != nil {
+			metrics = observer.Metrics
+		}
+		mres, err = runMulticore(ctx, w, mcfg, tlbReg, llcReg, *accuracy, metrics, board, *seed, *warmup, *measure)
+	case *ckptOut != "" || *ckptIn != "":
 		if observer != nil {
 			return fmt.Errorf("checkpoints cannot be combined with -trace-out/-metrics-out/-serve (observers span the whole run, including warmup)")
 		}
@@ -224,7 +280,7 @@ func run() error {
 			return fmt.Errorf("the oracle's two-pass protocol cannot be checkpointed")
 		}
 		res, err = runWithCheckpoint(ctx, r, w, setup, *ckptOut, *ckptIn, *seed, *warmup, *measure)
-	} else {
+	default:
 		res, err = r.Run(w, setup)
 	}
 	if err != nil {
@@ -245,6 +301,11 @@ func run() error {
 	}
 	if observer != nil && observer.Tracer != nil {
 		fmt.Fprintf(os.Stderr, "deadsim: traced %d events to %s\n", observer.Tracer.Count(), *traceOut)
+	}
+
+	if multicore {
+		printMulti(w, mcfg, *tlbPred, *llcPred, *accuracy, mres)
+		return nil
 	}
 
 	fmt.Printf("workload      %s (%s, %d MB)\n", w.Name, w.Suite, w.FootprintMB)
@@ -291,6 +352,106 @@ func run() error {
 			res.Correlation.Percent())
 	}
 	return nil
+}
+
+// runMulticore builds the multi-core machine, feeds every tenant its own
+// generator (seeded seed+tenantID), and measures with optional accuracy and
+// confusion grading on the shared LLT/LLC. The live-monitoring board gets a
+// single cell named after the topology.
+func runMulticore(ctx context.Context, w trace.Workload, mc sim.MultiConfig, tlbReg, llcReg *pred.Registration,
+	accuracy bool, metrics *obs.Registry, board *serve.Board, seed, warmup, measure uint64) (sim.MultiResult, error) {
+	m, err := sim.NewMulti(mc)
+	if err != nil {
+		return sim.MultiResult{}, err
+	}
+	if tlbReg != nil {
+		p, err := tlbReg.NewTLB(m.LLT().Inner())
+		if err != nil {
+			return sim.MultiResult{}, err
+		}
+		m.SetTLBPredictor(p)
+	}
+	if llcReg != nil {
+		p, err := llcReg.NewLLC(m.LLC())
+		if err != nil {
+			return sim.MultiResult{}, err
+		}
+		m.SetLLCPredictor(p)
+	}
+	m.AttachMetrics(metrics)
+
+	cell := fmt.Sprintf("%dc×%dt", mc.Cores, mc.Tenants)
+	start := time.Now()
+	if board != nil {
+		board.CellQueued(w.Name, cell)
+		board.CellStart(w.Name, cell)
+	}
+	run := func() error {
+		gens := make([]trace.Generator, mc.Tenants)
+		for t := range gens {
+			gens[t] = w.New(seed + uint64(t))
+		}
+		if err := m.RunContext(ctx, gens, warmup); err != nil {
+			return err
+		}
+		if accuracy {
+			if err := m.EnableAccuracyTracking(); err != nil {
+				return err
+			}
+			if err := m.EnableConfusionTracking(); err != nil {
+				return err
+			}
+		}
+		m.StartMeasurement()
+		if err := m.RunContext(ctx, gens, measure); err != nil {
+			return err
+		}
+		m.Finish()
+		return nil
+	}
+	err = run()
+	if board != nil {
+		board.CellDone(w.Name, cell, time.Since(start), err)
+	}
+	if err != nil {
+		return sim.MultiResult{}, err
+	}
+	return m.Result(), nil
+}
+
+// printMulti renders the multi-core run's statistics. The shared-structure
+// counters (LLT, LLC) repeat identically in every PerCore entry, so they are
+// read from core 0; walks, instructions and the scheduling counters are
+// machine totals.
+func printMulti(w trace.Workload, mc sim.MultiConfig, tlbPred, llcPred string, accuracy bool, res sim.MultiResult) {
+	fmt.Printf("workload      %s (%s, %d MB) × %d tenants\n", w.Name, w.Suite, w.FootprintMB, mc.Tenants)
+	fmt.Printf("topology      %d cores, quantum %d, shootdown %s, unmap every %d\n",
+		mc.Cores, mc.Quantum, mc.Shootdown, mc.UnmapEvery)
+	fmt.Printf("predictors    tlb=%s llc=%s\n", tlbPred, llcPred)
+	fmt.Printf("instructions  %d\n", res.Instructions)
+	fmt.Printf("cycles        %.0f (slowest core)\n", res.Cycles)
+	fmt.Printf("IPC           %.4f aggregate;", res.IPC)
+	for i, pc := range res.PerCore {
+		fmt.Printf(" core%d %.4f", i, pc.IPC)
+	}
+	fmt.Println()
+	fmt.Printf("scheduling    %d context switches, %d shootdowns (%d entries flushed), %d unmaps\n",
+		res.Switches, res.Shootdowns, res.ShootdownFlushed, res.Unmaps)
+	shared := res.PerCore[0]
+	fmt.Printf("shared LLT    lookups %d, misses %d, walks %d, bypasses %d\n",
+		shared.LLTLookups, shared.LLTMisses, res.Walks, shared.LLTBypasses)
+	fmt.Printf("LLT MPKI      %.3f\n", res.LLTMPKI)
+	fmt.Printf("shared LLC    lookups %d, misses %d, bypasses %d\n",
+		shared.LLCLookups, shared.LLCMisses, shared.LLCBypasses)
+	fmt.Printf("LLC MPKI      %.3f\n", res.LLCMPKI)
+	if accuracy {
+		fmt.Printf("LLT predictor accuracy %.1f%%, coverage %.1f%%, premature kills %.1f%% (true DOAs %d)\n",
+			100*res.LLTAccuracy.Accuracy(), 100*res.LLTAccuracy.Coverage(),
+			100*res.LLTConfusion.PrematureRate(), res.LLTAccuracy.TrueDOA)
+		fmt.Printf("LLC predictor accuracy %.1f%%, coverage %.1f%%, premature kills %.1f%% (true DOAs %d)\n",
+			100*res.LLCAccuracy.Accuracy(), 100*res.LLCAccuracy.Coverage(),
+			100*res.LLCConfusion.PrematureRate(), res.LLCAccuracy.TrueDOA)
+	}
 }
 
 // runWithCheckpoint drives the simulation directly (bypassing the runner's

@@ -17,6 +17,12 @@
 // comma-separated list picks specific competitors (unknown names list the
 // registered set). Without -only, -predictors runs just the sweep.
 //
+// -multicore runs the multi-core/multi-tenant interference sweep (DESIGN.md
+// §15): dead-page prediction accuracy, premature-kill rate, LLT MPKI and
+// aggregate IPC across a cores × tenants grid with ASID-targeted TLB
+// shootdowns. Without -only, -multicore runs just that sweep. Like every
+// grid, the printed table is byte-identical whatever -jobs is.
+//
 // Simulations are sharded across a bounded worker pool (-jobs); every run
 // is seeded, results are aggregated in the paper's fixed order, and the
 // printed tables are byte-identical whatever the job count.
@@ -104,6 +110,7 @@ func run() error {
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to file")
 		predictors = flag.String("predictors", "", "extended Table IV sweep: comma-separated registered predictor names, or \"all\" for every TLB-side predictor")
+		multicore  = flag.Bool("multicore", false, "multi-core/multi-tenant interference sweep: dead-page prediction quality vs core count × tenant count")
 	)
 	flag.Parse()
 
@@ -112,6 +119,7 @@ func run() error {
 			fmt.Printf("%-8s %s\n", e.id, e.name)
 		}
 		fmt.Println("storage  Section VI-D (storage overheads)")
+		fmt.Println("\nflag-selected sweeps: -predictors (extended Table IV), -multicore (interference grid)")
 		fmt.Printf("\nregistered predictors (-predictors): %s\n", strings.Join(pred.Names(), ", "))
 		return nil
 	}
@@ -196,10 +204,10 @@ func run() error {
 			selected[strings.ToLower(id)] = true
 		}
 	}
-	// With -predictors and no -only, run just the arena sweep.
+	// With -predictors or -multicore and no -only, run just those sweeps.
 	want := func(id string) bool {
 		if len(selected) == 0 {
-			return *predictors == ""
+			return *predictors == "" && !*multicore
 		}
 		return selected[id]
 	}
@@ -246,6 +254,13 @@ func run() error {
 		s, err := exp.Table4Extended(r, names)
 		if err != nil {
 			return failPartial(fmt.Errorf("predictors: %w", err))
+		}
+		fmt.Println(s.Format())
+	}
+	if *multicore {
+		s, err := exp.MultiCoreSweep(r)
+		if err != nil {
+			return failPartial(fmt.Errorf("multicore: %w", err))
 		}
 		fmt.Println(s.Format())
 	}

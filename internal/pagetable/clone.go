@@ -15,8 +15,17 @@ func (a *Allocator) Clone() *Allocator {
 // node of the cloned tree during the same traversal, so the clone's fast
 // path stays primed without aliasing the original's nodes.
 func (pt *PageTable) Clone() *PageTable {
+	return pt.CloneWith(pt.alloc.Clone())
+}
+
+// CloneWith is Clone with the allocator injected instead of copied. Tables
+// sharing one frame allocator (per-tenant address spaces over a single
+// physical memory) are forked by cloning the allocator once and handing
+// the same clone to every table's CloneWith, preserving the sharing in the
+// forked set.
+func (pt *PageTable) CloneWith(alloc *Allocator) *PageTable {
 	n := &PageTable{
-		alloc:       pt.alloc.Clone(),
+		alloc:       alloc,
 		memoKey:     pt.memoKey,
 		memoValid:   pt.memoValid,
 		memoSteps:   pt.memoSteps,

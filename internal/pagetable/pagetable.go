@@ -229,6 +229,30 @@ func (pt *PageTable) leafStep(n *node, vpn arch.VPN, dst []Step) (arch.PFN, []St
 	return pfn, dst, nil
 }
 
+// Unmap removes the leaf translation for vpn, reporting whether a mapping
+// existed. Interior radix nodes stay allocated (as on real hardware, where
+// freeing page-table pages is a separate, rare operation), so the
+// interior-path memo remains valid; the freed frame is not returned to the
+// allocator — a later touch of the same page faults in a fresh frame,
+// which is what makes post-shootdown reuse visible to the TLB hierarchy.
+func (pt *PageTable) Unmap(vpn arch.VPN) bool {
+	n := pt.root
+	for level := 0; level < arch.RadixLevels-1; level++ {
+		child, ok := n.children[vpn.RadixIndex(level)]
+		if !ok {
+			return false
+		}
+		n = child
+	}
+	idx := vpn.RadixIndex(arch.RadixLevels - 1)
+	if _, ok := n.leaves[idx]; !ok {
+		return false
+	}
+	delete(n.leaves, idx)
+	pt.mappedPages--
+	return true
+}
+
 // TranslateIfMapped returns the frame for vpn only if a mapping already
 // exists; it never allocates. TLB prefetchers use it so that speculative
 // translations do not fault in new pages.

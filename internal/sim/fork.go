@@ -57,6 +57,7 @@ func (s *System) Fork() (*System, error) {
 		walkerBusyUntil: s.walkerBusyUntil,
 		walkQueueCycles: s.walkQueueCycles,
 		stepNow:         s.stepNow,
+		asidKey:         s.asidKey,
 		base:            s.base,
 	}
 	var err error

@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/ckpt"
+)
+
+// Multi-machine checkpoint framing: its own magic (a MultiSystem restore
+// into a System, or vice versa, must fail on the first read), the meta
+// block, scheduler state, the shared structures once, then per-tenant and
+// per-core sections in index order.
+const (
+	multiCkptMagic   = "DPMK"
+	multiCkptVersion = 1
+)
+
+// MultiCheckpointMeta identifies what a multi-machine checkpoint was taken
+// from. The restoring side verifies every field that shapes future
+// behavior and fast-forwards each tenant's generator by its entry in
+// TenantAccesses to splice onto the same stream positions.
+type MultiCheckpointMeta struct {
+	Workload       string
+	Seed           uint64
+	Cores, Tenants int
+	Quantum        uint64
+	Shootdown      ShootdownPolicy
+	UnmapEvery     uint64
+	// Accesses is the machine-total access count at checkpoint time;
+	// TenantAccesses is the per-tenant breakdown (len == Tenants).
+	Accesses       uint64
+	TenantAccesses []uint64
+	TLBPred        string
+	LLCPred        string
+}
+
+// ckptCodecs mirrors System.ckptCodecs for the shared predictors.
+func (m *MultiSystem) ckptCodecs() (tlbC, llcC stateCodec, err error) {
+	tlbC, ok := m.tlbPred.(stateCodec)
+	if !ok {
+		return nil, nil, fmt.Errorf("sim: TLB predictor %q is not checkpointable", m.tlbPred.Name())
+	}
+	llcC, ok = m.llcPred.(stateCodec)
+	if !ok {
+		return nil, nil, fmt.Errorf("sim: LLC predictor %q is not checkpointable", m.llcPred.Name())
+	}
+	return tlbC, llcC, nil
+}
+
+// WriteCheckpoint serializes the multi-machine's full warm state. Like the
+// single-machine codec it captures pre-measurement state: take it after
+// warmup, before StartMeasurement and before enabling instrumentation.
+func (m *MultiSystem) WriteCheckpoint(wr io.Writer, workload string) error {
+	if m.lltAcc != nil || m.lltConf != nil {
+		return fmt.Errorf("sim: cannot checkpoint with instrumentation enabled")
+	}
+	tlbC, llcC, err := m.ckptCodecs()
+	if err != nil {
+		return err
+	}
+
+	w := ckpt.NewWriter(wr)
+	w.String(multiCkptMagic)
+	w.U16(multiCkptVersion)
+	w.String(workload)
+	w.U64(m.cfg.Machine.Seed)
+	w.U64(uint64(len(m.cores)))
+	w.U64(uint64(len(m.tenants)))
+	w.U64(m.cfg.Quantum)
+	w.U64(uint64(m.cfg.Shootdown))
+	w.U64(m.cfg.UnmapEvery)
+	w.U64(m.steps)
+	for _, t := range m.tenants {
+		w.U64(t.accesses)
+	}
+	w.String(m.tlbPred.Name())
+	w.String(m.llcPred.Name())
+
+	w.Mark("sched")
+	w.U64(uint64(m.rr))
+	w.U64(m.switches)
+	w.U64(m.shootdowns)
+	w.U64(m.shootdownFlushed)
+	w.U64(m.unmaps)
+	for c := range m.cores {
+		w.U64(uint64(m.curTenant[c]))
+		w.U64(m.sliceLeft[c])
+	}
+
+	w.Mark("shared")
+	m.llt.EncodeState(w)
+	m.llc.EncodeState(w)
+	tlbC.EncodeState(w)
+	llcC.EncodeState(w)
+
+	for i, t := range m.tenants {
+		w.Mark(fmt.Sprintf("tenant%d", i))
+		w.U64(t.unmaps)
+		w.U64(uint64(t.count))
+		for j := 0; j < t.count; j++ {
+			w.U64(uint64(t.recent[(t.head+j)%unmapRingSize]))
+		}
+		// Each table embeds the shared allocator's state; all snapshots
+		// are taken at the same instant, so decoding them in order is
+		// idempotent on the shared allocator.
+		t.pt.EncodeState(w)
+	}
+
+	for i, s := range m.cores {
+		w.Mark(fmt.Sprintf("core%d", i))
+		w.U64(s.accesses)
+		w.U64(s.walks)
+		w.U64(s.shadowFills)
+		w.U64(s.walkerBusyUntil)
+		w.U64(s.walkQueueCycles)
+		w.U64(s.stepNow)
+		s.cpuCore.EncodeState(w)
+		s.itlb.EncodeState(w)
+		s.dtlb.EncodeState(w)
+		s.l1d.EncodeState(w)
+		s.l2.EncodeState(w)
+		s.walk.EncodeState(w)
+	}
+	w.Mark("end")
+	return w.Flush()
+}
+
+// ReadCheckpoint restores state written by WriteCheckpoint into a machine
+// built with the identical MultiConfig and predictors. After it returns,
+// fast-forward tenant t's generator by meta.TenantAccesses[t]; stepping
+// the restored machine is then bit-identical to having continued the
+// checkpointed run.
+func (m *MultiSystem) ReadCheckpoint(rd io.Reader) (MultiCheckpointMeta, error) {
+	tlbC, llcC, err := m.ckptCodecs()
+	if err != nil {
+		return MultiCheckpointMeta{}, err
+	}
+
+	r := ckpt.NewReader(rd)
+	if magic := r.String(); r.Err() == nil && magic != multiCkptMagic {
+		return MultiCheckpointMeta{}, fmt.Errorf("sim: not a multi-machine checkpoint (magic %q)", magic)
+	}
+	if v := r.U16(); r.Err() == nil && v != multiCkptVersion {
+		return MultiCheckpointMeta{}, fmt.Errorf("sim: unsupported multi checkpoint version %d (want %d)", v, multiCkptVersion)
+	}
+	meta := MultiCheckpointMeta{
+		Workload:   r.String(),
+		Seed:       r.U64(),
+		Cores:      int(r.U64()),
+		Tenants:    int(r.U64()),
+		Quantum:    r.U64(),
+		Shootdown:  ShootdownPolicy(r.U64()),
+		UnmapEvery: r.U64(),
+		Accesses:   r.U64(),
+	}
+	if r.Err() != nil {
+		return MultiCheckpointMeta{}, r.Err()
+	}
+	if meta.Cores != len(m.cores) || meta.Tenants != len(m.tenants) {
+		return MultiCheckpointMeta{}, fmt.Errorf("sim: checkpoint machine %dc×%dt does not match configured %dc×%dt",
+			meta.Cores, meta.Tenants, len(m.cores), len(m.tenants))
+	}
+	meta.TenantAccesses = make([]uint64, meta.Tenants)
+	for i := range meta.TenantAccesses {
+		meta.TenantAccesses[i] = r.U64()
+	}
+	meta.TLBPred = r.String()
+	meta.LLCPred = r.String()
+	if r.Err() != nil {
+		return MultiCheckpointMeta{}, r.Err()
+	}
+	if meta.Seed != m.cfg.Machine.Seed {
+		return MultiCheckpointMeta{}, fmt.Errorf("sim: checkpoint seed %d does not match configured %d", meta.Seed, m.cfg.Machine.Seed)
+	}
+	if meta.Quantum != m.cfg.Quantum || meta.Shootdown != m.cfg.Shootdown || meta.UnmapEvery != m.cfg.UnmapEvery {
+		return MultiCheckpointMeta{}, fmt.Errorf("sim: checkpoint scheduling (quantum=%d shootdown=%s unmap=%d) does not match configured (quantum=%d shootdown=%s unmap=%d)",
+			meta.Quantum, meta.Shootdown, meta.UnmapEvery, m.cfg.Quantum, m.cfg.Shootdown, m.cfg.UnmapEvery)
+	}
+	if meta.TLBPred != m.tlbPred.Name() || meta.LLCPred != m.llcPred.Name() {
+		return MultiCheckpointMeta{}, fmt.Errorf("sim: checkpoint predictors (tlb=%s llc=%s) do not match installed (tlb=%s llc=%s)",
+			meta.TLBPred, meta.LLCPred, m.tlbPred.Name(), m.llcPred.Name())
+	}
+
+	r.Expect("sched")
+	m.steps = meta.Accesses
+	m.rr = int(r.U64())
+	m.switches = r.U64()
+	m.shootdowns = r.U64()
+	m.shootdownFlushed = r.U64()
+	m.unmaps = r.U64()
+	for c := range m.cores {
+		m.curTenant[c] = int(r.U64())
+		m.sliceLeft[c] = r.U64()
+	}
+	if r.Err() != nil {
+		return MultiCheckpointMeta{}, r.Err()
+	}
+	for c, lst := range m.coreTenants {
+		if len(lst) > 0 && m.curTenant[c] >= len(lst) {
+			return MultiCheckpointMeta{}, fmt.Errorf("sim: checkpoint running tenant %d out of range for core %d", m.curTenant[c], c)
+		}
+	}
+
+	r.Expect("shared")
+	for _, c := range []stateCodec{m.llt, m.llc, tlbC, llcC} {
+		if err := c.DecodeState(r); err != nil {
+			return MultiCheckpointMeta{}, err
+		}
+	}
+
+	for i, t := range m.tenants {
+		r.Expect(fmt.Sprintf("tenant%d", i))
+		t.accesses = meta.TenantAccesses[i]
+		t.unmaps = r.U64()
+		count := r.U64()
+		if count > unmapRingSize {
+			return MultiCheckpointMeta{}, fmt.Errorf("sim: checkpoint unmap ring size %d exceeds %d", count, unmapRingSize)
+		}
+		t.head = 0
+		t.count = int(count)
+		for j := 0; j < t.count; j++ {
+			t.recent[j] = arch.VPN(r.U64())
+		}
+		if err := t.pt.DecodeState(r); err != nil {
+			return MultiCheckpointMeta{}, err
+		}
+	}
+
+	for i, s := range m.cores {
+		r.Expect(fmt.Sprintf("core%d", i))
+		s.accesses = r.U64()
+		s.walks = r.U64()
+		s.shadowFills = r.U64()
+		s.walkerBusyUntil = r.U64()
+		s.walkQueueCycles = r.U64()
+		s.stepNow = r.U64()
+		for _, c := range []stateCodec{s.cpuCore, s.itlb, s.dtlb, s.l1d, s.l2, s.walk} {
+			if err := c.DecodeState(r); err != nil {
+				return MultiCheckpointMeta{}, err
+			}
+		}
+	}
+	r.Expect("end")
+	if r.Err() != nil {
+		return MultiCheckpointMeta{}, r.Err()
+	}
+
+	// Rebind each core to its (restored) running tenant: the decode
+	// replaced page-table trees, and the scheduler cursors may point at a
+	// different tenant than at construction time.
+	for c, s := range m.cores {
+		t := m.tenants[0]
+		if lst := m.coreTenants[c]; len(lst) > 0 {
+			t = m.tenants[lst[m.curTenant[c]]]
+		}
+		s.asidKey = t.asidKey
+		s.pt = t.pt
+		s.walk.Rebind(t.pt)
+	}
+	return meta, nil
+}

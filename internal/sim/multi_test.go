@@ -1,0 +1,521 @@
+package sim
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/tlb"
+	"repro/internal/trace"
+)
+
+// multiBuffers materializes n accesses per tenant (deterministic mixes
+// with spread seeds) so warm state can be replayed bit-identically from
+// any position.
+func multiBuffers(t testing.TB, tenants int, seed, n uint64) []*trace.Buffer {
+	t.Helper()
+	bufs := make([]*trace.Buffer, tenants)
+	for i := range bufs {
+		b, err := trace.Materialize(obsTestMix(t, seed+uint64(i)), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs[i] = b
+	}
+	return bufs
+}
+
+// readers builds one positioned generator per tenant buffer (pos nil
+// starts everyone at zero).
+func readers(bufs []*trace.Buffer, pos []uint64) []trace.Generator {
+	gens := make([]trace.Generator, len(bufs))
+	for i, b := range bufs {
+		p := uint64(0)
+		if pos != nil {
+			p = pos[i]
+		}
+		gens[i] = b.ReaderAt(p)
+	}
+	return gens
+}
+
+// positions snapshots each reader's cursor.
+func positions(gens []trace.Generator) []uint64 {
+	pos := make([]uint64, len(gens))
+	for i, g := range gens {
+		pos[i] = g.(*trace.BufferReader).Pos()
+	}
+	return pos
+}
+
+// installMultiPreds gives the machine the deepest-state predictor pair.
+func installMultiPreds(t testing.TB, m *MultiSystem) {
+	t.Helper()
+	dp, err := core.NewDPPred(core.DefaultDPPredConfig(m.LLT().Entries()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := core.NewCBPred(core.DefaultCBPredConfig(m.LLC().Capacity()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetTLBPredictor(dp)
+	m.SetLLCPredictor(cb)
+}
+
+func TestNewMultiValidates(t *testing.T) {
+	for _, mc := range []MultiConfig{
+		{Machine: smallConfig(), Cores: 0, Tenants: 1},
+		{Machine: smallConfig(), Cores: 1, Tenants: 0},
+		{Machine: smallConfig(), Cores: 1, Tenants: maxTenants + 1},
+		{Machine: smallConfig(), Cores: 1, Tenants: 1, Shootdown: ShootdownPolicy(7)},
+	} {
+		if _, err := NewMulti(mc); err == nil {
+			t.Errorf("config %+v accepted", mc)
+		}
+	}
+	bad := smallConfig()
+	bad.PhysMemMB = 0
+	if _, err := NewMulti(MultiConfig{Machine: bad, Cores: 1, Tenants: 1}); err == nil {
+		t.Error("bad machine config accepted")
+	}
+}
+
+func TestParseShootdown(t *testing.T) {
+	for s, want := range map[string]ShootdownPolicy{"asid": ShootdownFlushASID, "full": ShootdownFullFlush} {
+		got, err := ParseShootdown(s)
+		if err != nil || got != want {
+			t.Errorf("ParseShootdown(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), s)
+		}
+	}
+	if _, err := ParseShootdown("nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// TestMultiSingleBitIdentical is the tentpole invariant: a 1-core 1-tenant
+// MultiSystem is the existing single machine, bit for bit — on the
+// baseline and on the full dpPred+cbPred configuration, with a nonzero
+// quantum (a lone tenant never switches) and accuracy tracking enabled.
+func TestMultiSingleBitIdentical(t *testing.T) {
+	const warm, meas = 50_000, 150_000
+	for _, withPreds := range []bool{false, true} {
+		buf, err := trace.Materialize(obsTestMix(t, 7), warm+meas)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		s := MustNew(smallConfig())
+		m, err := NewMulti(MultiConfig{Machine: smallConfig(), Cores: 1, Tenants: 1,
+			Quantum: 5_000, Shootdown: ShootdownFlushASID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withPreds {
+			dp, err := core.NewDPPred(core.DefaultDPPredConfig(s.LLT().Entries()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cb, err := core.NewCBPred(core.DefaultCBPredConfig(s.LLC().Capacity()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.SetTLBPredictor(dp)
+			s.SetLLCPredictor(cb)
+			installMultiPreds(t, m)
+		}
+
+		if err := s.Run(buf.Reader(), warm); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run([]trace.Generator{buf.Reader()}, warm); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.EnableAccuracyTracking(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.EnableAccuracyTracking(); err != nil {
+			t.Fatal(err)
+		}
+		s.StartMeasurement()
+		m.StartMeasurement()
+		if err := s.Run(buf.ReaderAt(warm), meas); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run([]trace.Generator{buf.ReaderAt(warm)}, meas); err != nil {
+			t.Fatal(err)
+		}
+		s.Finish()
+		m.Finish()
+
+		want := s.Result()
+		mr := m.Result()
+		if len(mr.PerCore) != 1 {
+			t.Fatalf("PerCore has %d entries", len(mr.PerCore))
+		}
+		if got := mr.PerCore[0]; got != want {
+			t.Errorf("preds=%v: 1c×1t MultiSystem diverged from System:\n  multi=%+v\n  single=%+v",
+				withPreds, got, want)
+		}
+		if mr.Switches != 0 || mr.Shootdowns != 0 || mr.Unmaps != 0 {
+			t.Errorf("1c×1t machine scheduled: switches=%d shootdowns=%d unmaps=%d",
+				mr.Switches, mr.Shootdowns, mr.Unmaps)
+		}
+	}
+}
+
+// tlbCount returns a TLB's live-entry count.
+func tlbCount(tl *tlb.TLB) int {
+	n := 0
+	tl.Inner().ForEach(func(_, _ int, _ *cache.Block) { n++ })
+	return n
+}
+
+// tlbKeysByASID snapshots which keys each address space holds in a TLB.
+func tlbKeysByASID(tl *tlb.TLB) map[uint64]map[uint64]bool {
+	out := map[uint64]map[uint64]bool{}
+	tl.Inner().ForEach(func(_, _ int, b *cache.Block) {
+		asid := b.Key >> arch.VPNBits
+		if out[asid] == nil {
+			out[asid] = map[uint64]bool{}
+		}
+		out[asid][b.Key] = true
+	})
+	return out
+}
+
+// TestFlushASIDProperty: over randomized fill sequences, FlushASID(a)
+// drops exactly the entries tagged a — never another tenant's — and
+// FlushAll drops everything.
+func TestFlushASIDProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		tl := tlb.MustNew(tlb.Config{Name: "t", Entries: 64, Ways: 4, Latency: 1})
+		for i := 0; i < 300; i++ {
+			asid := uint64(rng.Intn(4))
+			vpn := arch.VPN(asid<<arch.VPNBits | uint64(rng.Intn(512)))
+			// Fill only on miss, as the simulator does: Fill assumes the
+			// key is absent, and a duplicate fill would create two blocks
+			// under one key.
+			if _, resident := tl.Probe(vpn); !resident {
+				tl.Fill(vpn, arch.PFN(i), 0, 0, uint64(i))
+			}
+		}
+		victim := uint64(rng.Intn(4))
+		before := tlbKeysByASID(tl)
+		flushed := tl.FlushASID(victim)
+		after := tlbKeysByASID(tl)
+
+		if flushed != len(before[victim]) {
+			t.Fatalf("trial %d: FlushASID(%d) reported %d, held %d", trial, victim, flushed, len(before[victim]))
+		}
+		if len(after[victim]) != 0 {
+			t.Fatalf("trial %d: %d entries of flushed ASID %d survived", trial, len(after[victim]), victim)
+		}
+		for asid, keys := range before {
+			if asid == victim {
+				continue
+			}
+			if !reflect.DeepEqual(after[asid], keys) {
+				t.Fatalf("trial %d: FlushASID(%d) disturbed ASID %d: before=%d after=%d",
+					trial, victim, asid, len(keys), len(after[asid]))
+			}
+		}
+		tl.FlushAll()
+		if n := tlbCount(tl); n != 0 {
+			t.Fatalf("trial %d: FlushAll left %d entries", trial, n)
+		}
+	}
+}
+
+// TestShootdownASIDIsolation runs a real two-tenant machine and checks the
+// system-level property: an ASID-targeted shootdown leaves every other
+// tenant's LLT and L1 TLB entries untouched.
+func TestShootdownASIDIsolation(t *testing.T) {
+	m, err := NewMulti(MultiConfig{Machine: smallConfig(), Cores: 1, Tenants: 2,
+		Quantum: 1_000, Shootdown: ShootdownFlushASID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := multiBuffers(t, 2, 11, 40_000)
+	if err := m.Run(readers(bufs, nil), 40_000); err != nil {
+		t.Fatal(err)
+	}
+
+	lltBefore := tlbKeysByASID(m.LLT())
+	dtlbBefore := tlbKeysByASID(m.Core(0).dtlb)
+	if len(lltBefore[0]) == 0 || len(lltBefore[1]) == 0 {
+		t.Fatalf("warmup left an empty ASID in the LLT: %d/%d", len(lltBefore[0]), len(lltBefore[1]))
+	}
+
+	m.shootdown(m.tenants[1])
+
+	lltAfter := tlbKeysByASID(m.LLT())
+	if len(lltAfter[1]) != 0 {
+		t.Errorf("%d LLT entries of shot-down tenant 1 survived", len(lltAfter[1]))
+	}
+	if !reflect.DeepEqual(lltAfter[0], lltBefore[0]) {
+		t.Errorf("shootdown of tenant 1 disturbed tenant 0's LLT entries (%d -> %d)",
+			len(lltBefore[0]), len(lltAfter[0]))
+	}
+	dtlbAfter := tlbKeysByASID(m.Core(0).dtlb)
+	if len(dtlbAfter[1]) != 0 {
+		t.Errorf("%d D-TLB entries of shot-down tenant 1 survived", len(dtlbAfter[1]))
+	}
+	if !reflect.DeepEqual(dtlbAfter[0], dtlbBefore[0]) {
+		t.Errorf("shootdown of tenant 1 disturbed tenant 0's D-TLB entries")
+	}
+}
+
+// TestShootdownFullFlush: the ASID-oblivious policy drops everything,
+// including innocent tenants' entries.
+func TestShootdownFullFlush(t *testing.T) {
+	m, err := NewMulti(MultiConfig{Machine: smallConfig(), Cores: 2, Tenants: 2,
+		Shootdown: ShootdownFullFlush})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := multiBuffers(t, 2, 13, 40_000)
+	if err := m.Run(readers(bufs, nil), 40_000); err != nil {
+		t.Fatal(err)
+	}
+	if tlbCount(m.LLT()) == 0 {
+		t.Fatal("warmup left the LLT empty")
+	}
+	m.shootdown(m.tenants[0])
+	if n := tlbCount(m.LLT()); n != 0 {
+		t.Errorf("full flush left %d LLT entries", n)
+	}
+	for c := 0; c < 2; c++ {
+		if n := tlbCount(m.Core(c).dtlb); n != 0 {
+			t.Errorf("full flush left %d D-TLB entries on core %d", n, c)
+		}
+		if n := tlbCount(m.Core(c).itlb); n != 0 {
+			t.Errorf("full flush left %d I-TLB entries on core %d", n, c)
+		}
+	}
+}
+
+// TestPostShootdownMiss: after an unmap+shootdown, the next touch of the
+// page misses the whole TLB hierarchy, triggers a fresh page walk, and
+// faults in a different physical frame (the old one is never reissued).
+func TestPostShootdownMiss(t *testing.T) {
+	m, err := NewMulti(MultiConfig{Machine: smallConfig(), Cores: 1, Tenants: 1,
+		Shootdown: ShootdownFlushASID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := arch.VAddr(1 << 30)
+	var accs []trace.Access
+	for i := 0; i < 64; i++ {
+		accs = append(accs, access(0x400000, page+arch.VAddr(i*64)))
+	}
+	g := &seqGen{name: "page", list: accs}
+	if err := m.Run([]trace.Generator{g}, 64); err != nil {
+		t.Fatal(err)
+	}
+
+	vpn := page.Page()
+	tn := m.tenants[0]
+	oldPFN, mapped := tn.pt.TranslateIfMapped(vpn)
+	if !mapped {
+		t.Fatal("page not mapped after warm accesses")
+	}
+	if _, ok := m.LLT().Probe(vpn); !ok {
+		t.Fatal("page not resident in LLT before shootdown")
+	}
+
+	if !tn.pt.Unmap(vpn) {
+		t.Fatal("unmap of mapped page failed")
+	}
+	m.shootdown(tn)
+
+	if _, ok := m.LLT().Probe(vpn); ok {
+		t.Error("LLT still holds the shot-down translation")
+	}
+	if _, ok := m.Core(0).dtlb.Probe(vpn); ok {
+		t.Error("D-TLB still holds the shot-down translation")
+	}
+
+	walksBefore := m.Core(0).walks
+	if err := m.Step([]trace.Generator{g}); err != nil {
+		t.Fatal(err)
+	}
+	// The single-tenant shootdown flushed the instruction page's
+	// translation too, so this access walks twice: once for the PC's
+	// page, once for the unmapped data page.
+	if m.Core(0).walks != walksBefore+2 {
+		t.Errorf("post-shootdown access walked %d times, want 2", m.Core(0).walks-walksBefore)
+	}
+	newPFN, mapped := tn.pt.TranslateIfMapped(vpn)
+	if !mapped {
+		t.Fatal("page not remapped by post-shootdown access")
+	}
+	if newPFN == oldPFN {
+		t.Errorf("remapped page reused frame %d", oldPFN)
+	}
+}
+
+// runMulti measures n accesses and returns the result.
+func runMulti(t testing.TB, m *MultiSystem, gens []trace.Generator, n uint64) MultiResult {
+	t.Helper()
+	m.StartMeasurement()
+	if err := m.Run(gens, n); err != nil {
+		t.Fatal(err)
+	}
+	m.Finish()
+	return m.Result()
+}
+
+// warmMulti builds a full-featured machine (2 cores, 3 tenants, context
+// switching, unmap injection, dpPred+cbPred), warms it, and returns the
+// machine with its buffers and post-warmup positions.
+func warmMulti(t testing.TB, warm uint64) (*MultiSystem, []*trace.Buffer, []uint64) {
+	t.Helper()
+	m, err := NewMulti(MultiConfig{Machine: smallConfig(), Cores: 2, Tenants: 3,
+		Quantum: 700, Shootdown: ShootdownFlushASID, UnmapEvery: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	installMultiPreds(t, m)
+	bufs := multiBuffers(t, 3, 21, warm+300_000)
+	gens := readers(bufs, nil)
+	if err := m.Run(gens, warm); err != nil {
+		t.Fatal(err)
+	}
+	return m, bufs, positions(gens)
+}
+
+// TestMultiForkBitIdentical: measuring on a fork must be bit-identical to
+// measuring on the master it was taken from.
+func TestMultiForkBitIdentical(t *testing.T) {
+	const warm, meas = 60_000, 120_000
+	m, bufs, pos := warmMulti(t, warm)
+	f, err := m.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runMulti(t, f, readers(bufs, pos), meas)
+	want := runMulti(t, m, readers(bufs, pos), meas)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("forked multi run diverged from master:\n  fork=%+v\n  master=%+v", got, want)
+	}
+}
+
+// TestMultiForkRefusesInstrumented mirrors the single-machine contract.
+func TestMultiForkRefusesInstrumented(t *testing.T) {
+	m, err := NewMulti(MultiConfig{Machine: smallConfig(), Cores: 1, Tenants: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableAccuracyTracking(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Fork(); err == nil {
+		t.Error("fork of instrumented machine accepted")
+	}
+}
+
+// TestMultiCheckpointRoundTrip: restore into a fresh machine, splice the
+// generators at the checkpoint's per-tenant positions, and the restored
+// run must be bit-identical to the continuing master.
+func TestMultiCheckpointRoundTrip(t *testing.T) {
+	const warm, meas = 60_000, 120_000
+	m, bufs, pos := warmMulti(t, warm)
+
+	var ck bytes.Buffer
+	if err := m.WriteCheckpoint(&ck, "mix"); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewMulti(m.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	installMultiPreds(t, r)
+	meta, err := r.ReadCheckpoint(bytes.NewReader(ck.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for i, ta := range meta.TenantAccesses {
+		total += ta
+		if ta != pos[i] {
+			t.Errorf("tenant %d checkpoint accesses %d, generator position %d", i, ta, pos[i])
+		}
+	}
+	if meta.Accesses != warm || total != warm {
+		t.Errorf("checkpoint covers %d accesses (tenant sum %d), want %d", meta.Accesses, total, warm)
+	}
+
+	got := runMulti(t, r, readers(bufs, pos), meas)
+	want := runMulti(t, m, readers(bufs, pos), meas)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("restored multi run diverged from master:\n  restored=%+v\n  master=%+v", got, want)
+	}
+}
+
+// TestMultiCheckpointRejectsMismatch: a checkpoint must not restore into a
+// machine with different dimensions or scheduling parameters.
+func TestMultiCheckpointRejectsMismatch(t *testing.T) {
+	m, _, _ := warmMulti(t, 10_000)
+	var ck bytes.Buffer
+	if err := m.WriteCheckpoint(&ck, "mix"); err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range []func(*MultiConfig){
+		func(c *MultiConfig) { c.Cores = 1 },
+		func(c *MultiConfig) { c.Tenants = 2 },
+		func(c *MultiConfig) { c.Quantum = 123 },
+		func(c *MultiConfig) { c.Shootdown = ShootdownFullFlush },
+		func(c *MultiConfig) { c.UnmapEvery = 1 },
+	} {
+		cfg := m.Config()
+		mut(&cfg)
+		r, err := NewMulti(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		installMultiPreds(t, r)
+		if _, err := r.ReadCheckpoint(bytes.NewReader(ck.Bytes())); err == nil {
+			t.Errorf("mismatched restore accepted for %+v", cfg)
+		}
+	}
+}
+
+// TestMultiDeterminism: two identical 4-core 6-tenant runs — context
+// switches (two cores run two tenants each), shootdowns, shared-structure
+// contention and all — produce deeply equal results.
+func TestMultiDeterminism(t *testing.T) {
+	run := func() MultiResult {
+		m, err := NewMulti(MultiConfig{Machine: smallConfig(), Cores: 4, Tenants: 6,
+			Quantum: 1_000, Shootdown: ShootdownFullFlush, UnmapEvery: 1_500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		installMultiPreds(t, m)
+		if err := m.EnableAccuracyTracking(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.EnableConfusionTracking(); err != nil {
+			t.Fatal(err)
+		}
+		bufs := multiBuffers(t, 6, 31, 100_000)
+		return runMulti(t, m, readers(bufs, nil), 100_000)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("repeated multi runs diverged:\n  a=%+v\n  b=%+v", a, b)
+	}
+	if a.Switches == 0 || a.Shootdowns == 0 || a.Unmaps == 0 {
+		t.Errorf("stress run did not exercise scheduling: switches=%d shootdowns=%d unmaps=%d",
+			a.Switches, a.Shootdowns, a.Unmaps)
+	}
+}

@@ -103,6 +103,18 @@ type System struct {
 	// same timestamp; caching it avoids float→int conversions per probe.
 	stepNow uint64
 
+	// asidKey tags every virtual page number this system translates with
+	// its current address-space identifier (the tenant's ASID shifted
+	// above the VPN bits). 0 — the single-address-space case — leaves all
+	// keys numerically unchanged, so a standalone System behaves exactly
+	// as before. MultiSystem swaps it on context switches.
+	asidKey uint64
+
+	// backInv, when set, replaces the local inclusive-LLC
+	// back-invalidation with a fan-out across every core sharing the LLC
+	// (MultiSystem wires it). nil keeps the single-core behaviour.
+	backInv func(key uint64)
+
 	// Measurement baseline (set by StartMeasurement).
 	base snapshot
 }
@@ -363,6 +375,11 @@ func (s *System) RunContext(ctx context.Context, g trace.Generator, n uint64) er
 // translate resolves a page through the TLB hierarchy, returning the extra
 // latency beyond a (free) L1 TLB hit.
 func (s *System) translate(vpn arch.VPN, pc uint64, instr bool) (arch.Lat, arch.PFN, error) {
+	// Qualify the page number with the current address space: TLB entries,
+	// predictor state and page-walk-cache keys all become ASID-tagged. The
+	// ASID occupies bits above the 36 VPN bits, which no radix index ever
+	// consumes, so page-table walks see the qualified value transparently.
+	vpn |= arch.VPN(s.asidKey)
 	l1 := s.dtlb
 	if instr {
 		l1 = s.itlb
@@ -606,9 +623,15 @@ func (s *System) memAccess(pa arch.PAddr, pc uint64, write bool) arch.Lat {
 			if s.corr != nil {
 				s.corr.OnBlockEvict(blockFrame(victim.Key), victim.Hits)
 			}
-			// Inclusive LLC: drop inner copies.
-			s.l2.Invalidate(victim.Key)
-			s.l1d.Invalidate(victim.Key)
+			// Inclusive LLC: drop inner copies — from every core
+			// sharing the LLC when MultiSystem installed the fan-out,
+			// else locally.
+			if s.backInv != nil {
+				s.backInv(victim.Key)
+			} else {
+				s.l2.Invalidate(victim.Key)
+				s.l1d.Invalidate(victim.Key)
+			}
 		}
 	}
 	s.fillInner(s.l2, key, false, now)

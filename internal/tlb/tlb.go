@@ -105,6 +105,38 @@ func (t *TLB) Invalidate(vpn arch.VPN) (cache.Block, bool) {
 	return t.c.Invalidate(uint64(vpn))
 }
 
+// FlushASID invalidates every entry whose key carries the given ASID tag
+// (the key bits above arch.VPNBits; see sim's multi-tenant key layout) and
+// returns how many entries were dropped. Entries of other address spaces
+// are untouched — this is the precise shootdown an ASID-tagged TLB offers.
+// Flushes are hardware invalidations, not replacement decisions: no
+// predictor or sampler observes them.
+func (t *TLB) FlushASID(asid uint64) int {
+	return t.flushMatch(func(key uint64) bool { return key>>arch.VPNBits == asid })
+}
+
+// FlushAll invalidates every entry (the ASID-oblivious full-flush
+// shootdown) and returns how many entries were dropped.
+func (t *TLB) FlushAll() int {
+	return t.flushMatch(func(uint64) bool { return true })
+}
+
+// flushMatch invalidates every entry whose key satisfies match, in
+// deterministic set-major order. Keys are collected before any
+// invalidation so the walk never mutates the structure it iterates.
+func (t *TLB) flushMatch(match func(key uint64) bool) int {
+	keys := make([]uint64, 0, 64)
+	t.c.ForEach(func(_, _ int, b *cache.Block) {
+		if match(b.Key) {
+			keys = append(keys, b.Key)
+		}
+	})
+	for _, k := range keys {
+		t.c.Invalidate(k)
+	}
+	return len(keys)
+}
+
 // RecordBypass counts a fill suppressed by a predictor.
 func (t *TLB) RecordBypass() { t.c.RecordBypass() }
 

@@ -215,6 +215,15 @@ func (w *Walker) Clone(pt *pagetable.PageTable, fetch Fetch) (*Walker, error) {
 	return n, nil
 }
 
+// Rebind points the walker at a different page table (a context switch to
+// another address space). PWC contents survive deliberately: their keys are
+// derived from the (ASID-qualified) VPNs the owning address space walks, so
+// entries of distinct address spaces can never collide — exactly like an
+// ASID-tagged hardware PWC.
+func (w *Walker) Rebind(pt *pagetable.PageTable) {
+	w.pt = pt
+}
+
 // Stats returns a snapshot of walker counters.
 func (w *Walker) Stats() Stats { return w.stats }
 
