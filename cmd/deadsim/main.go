@@ -29,6 +29,7 @@ package main
 
 import (
 	"context"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
@@ -75,7 +76,7 @@ func resolveAlias(name string, aliases map[string]string) string {
 func run() error {
 	var (
 		workload  = flag.String("workload", "cactusADM", "Table II workload name (or 'list')")
-		traceFile = flag.String("trace", "", "replay a recorded trace file instead of a synthetic workload (looped; see cmd/tracedump)")
+		traceFile = flag.String("trace", "", "replay a recorded trace file instead of a synthetic workload (looped; DPTR streams and DPBF v1/v2 dumps by magic, see cmd/tracedump)")
 		tlbPred   = flag.String("tlb", "none", "LLT predictor: none, oracle, or a registered name/alias (dpPred, SHiP, AIP, SDBP-TLB, Leeway-TLB, ...)")
 		llcPred   = flag.String("llc", "none", "LLC predictor: none or a registered name/alias (cbPred, SHiP, AIP, SDBP-LLC, ...)")
 		warmup    = flag.Uint64("warmup", 300_000, "warmup accesses before measurement")
@@ -113,24 +114,24 @@ func run() error {
 	var w trace.Workload
 	if *traceFile != "" {
 		// Open and validate the trace up front so a missing file or bad
-		// header fails the run through the normal error path. The replayer
-		// implements trace.ErrGenerator, so a truncated or mid-file-corrupt
-		// trace latches its error during replay and every drain path
-		// (Materialize, System.Run) surfaces it instead of silently
-		// repeating the last record.
+		// header fails the run through the normal error path. All the
+		// generators built here implement trace.ErrGenerator, so a
+		// truncated or mid-file-corrupt trace latches its error during
+		// replay and every drain path (Materialize, System.Run) surfaces it
+		// instead of silently repeating the last record.
 		f, err := os.Open(*traceFile)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		rp, err := trace.NewReplayer(f, true)
+		g, err := openTraceGenerator(f)
 		if err != nil {
 			return fmt.Errorf("%s: %w", *traceFile, err)
 		}
 		w = trace.Workload{
 			Name:  "trace:" + *traceFile,
 			Suite: "recorded",
-			New:   func(uint64) trace.Generator { return rp },
+			New:   func(uint64) trace.Generator { return g },
 		}
 	} else {
 		var err error
@@ -354,6 +355,44 @@ func run() error {
 	return nil
 }
 
+// openTraceGenerator sniffs the trace file's magic (and, for DPBF, its
+// version) and builds the matching looping generator: DPTR record streams
+// replay through the Replayer, DPBF v1 dumps materialize into a Buffer,
+// and DPBF v2 dumps stream chunk by chunk through a ChunkedTrace without
+// ever materializing. All three wrap at end of stream, and the buffer
+// cursors serve the batched simulation path (trace.ChunkReader).
+func openTraceGenerator(f *os.File) (trace.Generator, error) {
+	var pre [6]byte
+	if _, err := f.ReadAt(pre[:], 0); err != nil {
+		return nil, fmt.Errorf("sniffing trace magic: %w", err)
+	}
+	if string(pre[:4]) != "DPBF" {
+		// DPTR — or garbage, which the replayer rejects with the message
+		// naming both accepted magics.
+		rp, err := trace.NewReplayer(f, true)
+		if err != nil {
+			return nil, err
+		}
+		return rp, nil
+	}
+	if binary.LittleEndian.Uint16(pre[4:]) == 2 {
+		info, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		ct, err := trace.OpenChunked(f, info.Size())
+		if err != nil {
+			return nil, err
+		}
+		return ct.NewReader(), nil
+	}
+	b, err := trace.ReadBuffer(f)
+	if err != nil {
+		return nil, err
+	}
+	return b.Reader(), nil
+}
+
 // runMulticore builds the multi-core machine, feeds every tenant its own
 // generator (seeded seed+tenantID), and measures with optional accuracy and
 // confusion grading on the shared LLT/LLC. The live-monitoring board gets a
@@ -454,6 +493,13 @@ func printMulti(w trace.Workload, mc sim.MultiConfig, tlbPred, llcPred string, a
 	}
 }
 
+// ffStride is the checkpoint fast-forward loop's cancellation-check
+// stride, matching the simulators' ctxCheckStride. The mask-form check in
+// the loop requires a power of two, asserted at compile time.
+const ffStride = 4096
+
+const _ uint = -(ffStride & (ffStride - 1))
+
 // runWithCheckpoint drives the simulation directly (bypassing the runner's
 // memo) so the warm state can be written to or restored from a checkpoint
 // file. A restored run fast-forwards its generator by the checkpoint's
@@ -483,7 +529,7 @@ func runWithCheckpoint(ctx context.Context, r *exp.Runner, w trace.Workload, set
 		// honors cancellation and a replayed trace's latched errors just
 		// like a simulated prefix would.
 		for i := uint64(0); i < meta.Accesses; i++ {
-			if i%4096 == 0 {
+			if i&(ffStride-1) == 0 {
 				select {
 				case <-ctx.Done():
 					return sim.Result{}, fmt.Errorf("fast-forwarding %s: %w", inPath, ctx.Err())

@@ -27,6 +27,12 @@
 // is seeded, results are aggregated in the paper's fixed order, and the
 // printed tables are byte-identical whatever the job count.
 //
+// -trace-dir DIR caches each workload's stream as a compressed DPBF v2
+// trace file under DIR (recorded once, reused on later runs with the same
+// seed and lengths) and streams it from disk chunk by chunk instead of
+// holding the materialized buffer in memory. Output stays byte-identical
+// to the in-memory default at any -jobs; see DESIGN.md §16.
+//
 // Observability (see DESIGN.md §8): -trace-out FILE streams JSONL (or CSV,
 // by extension) hook-point events (deadsim's -trace is a replay input),
 // -metrics-out FILE writes interval time series plus final counters as
@@ -103,6 +109,7 @@ func run() error {
 		seed       = flag.Uint64("seed", 1, "workload and allocator seed")
 		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulations (1 = sequential; output is identical either way)")
 		verbose    = flag.Bool("v", false, "print per-simulation progress with elapsed time")
+		traceDir   = flag.String("trace-dir", "", "cache workload traces as compressed DPBF v2 files in this directory (created if missing) and stream them from disk instead of holding materialized buffers in memory")
 		traceOut   = flag.String("trace-out", "", "write hook-point event trace to file (JSONL; a .csv extension selects CSV)")
 		metricsOut = flag.String("metrics-out", "", "write interval time series and final metrics JSON to file")
 		serveAddr  = flag.String("serve", "", "serve live monitoring HTTP endpoints on this address while the run lasts (\":0\" picks a free port)")
@@ -143,6 +150,12 @@ func run() error {
 	params.Seed = *seed
 	r := exp.NewRunner(params)
 	r.SetJobs(*jobs)
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
+		}
+		r.SetTraceDir(*traceDir)
+	}
 	if *verbose {
 		r.ProgressStart = func(w, s string) {
 			fmt.Fprintf(os.Stderr, "  simulating %s under %s\n", w, s)

@@ -1,22 +1,36 @@
 // Command tracedump records synthetic workload traces to the repository's
-// binary trace format and inspects existing trace files. Recorded traces
-// can be replayed through the simulator (deadpred.Replayer / the -replay
-// flag of deadsim-style tools) or exported as CSV for external analysis.
+// binary trace formats, converts between them, and inspects existing trace
+// files. Recorded traces can be replayed through the simulator (deadsim
+// -trace) or exported as CSV for external analysis.
 //
 // Usage:
 //
-//	tracedump -workload cc -n 1000000 -o cc.dptr     # record
+//	tracedump -workload cc -n 1000000 -o cc.dptr     # record DPTR stream
+//	tracedump -workload cc -n 1000000 -o cc.dpbf     # record DPBF v2 dump
+//	tracedump -convert cc.dptr -o cc.dpbf            # re-encode (v1 -> v2, ...)
 //	tracedump -dump cc.dptr -n 20                    # peek at records
 //	tracedump -dump cc.dptr -csv > cc.csv            # export CSV
-//	tracedump -summary cc.dptr                       # whole-file statistics
+//	tracedump -summary cc.dpbf                       # whole-file statistics
 //
-// -summary accepts both trace formats (DPTR record streams and DPBF buffer
-// dumps, distinguished by magic) and reports per-PC-stream access counts,
+// A .dpbf output selects the struct-of-arrays buffer dump, written in the
+// compressed chunk-indexed v2 layout by default; -v1 keeps the legacy raw
+// v1 layout (deprecated, kept for one release). Any other output extension
+// selects the DPTR record stream.
+//
+// -convert reads a trace in any format (DPTR, DPBF v1, DPBF v2 — by magic)
+// and re-encodes it to -o under the same extension rules, so upgrading a
+// v1 library is `tracedump -convert old.dpbf -o new.dpbf`.
+//
+// -summary accepts every format and reports per-PC-stream access counts,
 // the read/write ratio and the unique-VPN footprint over the entire file.
+// For DPBF v2 it first reports the chunk index — per-chunk compressed and
+// raw columnar sizes and the overall compression ratio — and rejects files
+// whose chunk index disagrees with the footer (trace.ErrChunkIndexMismatch).
 package main
 
 import (
 	"context"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
@@ -39,10 +53,12 @@ func run() error {
 	var (
 		workload = flag.String("workload", "", "Table II workload to record")
 		n        = flag.Uint64("n", 1_000_000, "records to record/dump")
-		out      = flag.String("o", "", "output trace file (record mode)")
+		out      = flag.String("o", "", "output trace file (record/convert mode)")
+		convert  = flag.String("convert", "", "trace file (any format) to re-encode to -o")
+		v1       = flag.Bool("v1", false, "write .dpbf outputs in the legacy uncompressed DPBF v1 layout (deprecated; kept for one release)")
 		dump     = flag.String("dump", "", "trace file to inspect")
 		csv      = flag.Bool("csv", false, "dump as CSV instead of a summary")
-		summary  = flag.String("summary", "", "trace file (DPTR or DPBF) to summarize whole-file")
+		summary  = flag.String("summary", "", "trace file (DPTR or DPBF v1/v2) to summarize whole-file")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 	)
 	flag.Parse()
@@ -54,18 +70,20 @@ func run() error {
 
 	switch {
 	case *workload != "" && *out != "":
-		return record(ctx, *workload, *out, *n, *seed)
+		return record(ctx, *workload, *out, *n, *seed, *v1)
+	case *convert != "" && *out != "":
+		return reencode(*convert, *out, *v1)
 	case *summary != "":
 		return summarize(*summary)
 	case *dump != "":
 		return inspect(*dump, *n, *csv)
 	default:
 		flag.Usage()
-		return fmt.Errorf("need either -workload with -o, -dump, or -summary")
+		return fmt.Errorf("need either -workload with -o, -convert with -o, -dump, or -summary")
 	}
 }
 
-func record(ctx context.Context, name, path string, n, seed uint64) error {
+func record(ctx context.Context, name, path string, n, seed uint64, v1 bool) error {
 	w, err := trace.ByName(name)
 	if err != nil {
 		return err
@@ -75,14 +93,18 @@ func record(ctx context.Context, name, path string, n, seed uint64) error {
 		return err
 	}
 	defer f.Close()
-	if strings.HasSuffix(path, ".dpbf") {
-		// Struct-of-arrays buffer dump: the runner's materialized cache
-		// format, denser than the DPTR record stream.
+	switch {
+	case strings.HasSuffix(path, ".dpbf") && !v1:
+		// Compressed chunk-indexed buffer dump, streamed chunk by chunk —
+		// memory stays bounded whatever -n is.
+		err = trace.RecordV2Context(ctx, f, w.New(seed), n)
+	case strings.HasSuffix(path, ".dpbf"):
+		// Legacy raw struct-of-arrays layout; materializes the whole trace.
 		var b *trace.Buffer
 		if b, err = trace.MaterializeContext(ctx, w.New(seed), n); err == nil {
 			_, err = b.WriteTo(f)
 		}
-	} else {
+	default:
 		err = trace.RecordContext(ctx, f, w.New(seed), n)
 	}
 	if err != nil {
@@ -96,6 +118,48 @@ func record(ctx context.Context, name, path string, n, seed uint64) error {
 		return err
 	}
 	fmt.Printf("recorded %d accesses of %s to %s (%d bytes)\n", n, name, path, info.Size())
+	return nil
+}
+
+// reencode reads a whole trace in any format and rewrites it to outPath:
+// .dpbf selects the DPBF buffer dump (v2 unless -v1), anything else the
+// DPTR record stream. The access sequence is preserved exactly, so a
+// converted trace replays bit-identically to its source.
+func reencode(inPath, outPath string, v1 bool) error {
+	in, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	b, err := trace.ReadTrace(in)
+	if err != nil {
+		return fmt.Errorf("%s: %w", inPath, err)
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(outPath, ".dpbf") && !v1:
+		_, err = b.WriteToV2(f)
+	case strings.HasSuffix(outPath, ".dpbf"):
+		_, err = b.WriteTo(f)
+	default:
+		err = trace.Record(f, b.Reader(), b.Len())
+	}
+	if err != nil {
+		return fmt.Errorf("%s: %w", outPath, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(outPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %d accesses of %q from %s to %s (%d bytes)\n",
+		b.Len(), b.Name(), inPath, outPath, info.Size())
 	return nil
 }
 
@@ -149,21 +213,74 @@ func inspect(path string, n uint64, csv bool) error {
 	return nil
 }
 
+// summarizeChunks prints a DPBF v2 file's chunk index: per-chunk record
+// counts and compressed payload sizes against the raw columnar equivalent
+// (the 21 bytes/record a v1 dump would spend), and the overall compression
+// ratio. It costs O(chunks) — the index comes from the footer, payloads
+// are never inflated. Long indexes elide the middle chunks.
+func summarizeChunks(f *os.File) error {
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	ct, err := trace.OpenChunked(f, info.Size())
+	if err != nil {
+		return err
+	}
+	const recBytes = 21 // 8 PC + 8 VA + 4 gap + 1 flags per record, the v1 column cost
+	ratio := func(raw, comp uint64) float64 {
+		if comp == 0 {
+			return 0
+		}
+		return float64(raw) / float64(comp)
+	}
+	chunks := ct.Chunks()
+	fmt.Printf("dpbf v2: %d chunks, file %d bytes\n", chunks, info.Size())
+	const headTail = 16 // chunks shown before eliding + the final chunk
+	var comp, raw uint64
+	for i := 0; i < chunks; i++ {
+		encLen, rawN := ct.ChunkInfo(i)
+		comp += uint64(encLen)
+		raw += uint64(rawN) * recBytes
+		if chunks > headTail+2 && i == headTail {
+			fmt.Printf("  ... %d chunks elided ...\n", chunks-headTail-1)
+		}
+		if chunks <= headTail+2 || i < headTail || i == chunks-1 {
+			cr := uint64(rawN) * recBytes
+			fmt.Printf("  chunk %4d: %6d records, %7d bytes compressed, %8d raw (%.2fx)\n",
+				i, rawN, encLen, cr, ratio(cr, uint64(encLen)))
+		}
+	}
+	fmt.Printf("  payload total: %d bytes compressed, %d raw columnar, ratio %.2fx\n",
+		comp, raw, ratio(raw, comp))
+	return nil
+}
+
 // streamShift groups PCs into instruction streams for the summary: the
 // synthetic workloads lay each logical stream's PCs in its own 16 KiB
 // region, so PC>>14 recovers the stream identity (and gives a coarse but
 // stable grouping for externally recorded traces too).
 const streamShift = 14
 
-// summarize reads an entire trace file — either format — and prints
+// summarize reads an entire trace file — any format — and prints
 // per-stream access counts, the read/write split and the unique-VPN
-// footprint.
+// footprint. DPBF v2 files additionally get their chunk index reported
+// first; a v2 file whose index disagrees with its footer is rejected with
+// trace.ErrChunkIndexMismatch rather than summarized from whichever copy
+// happens to parse.
 func summarize(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	var pre [6]byte
+	if _, err := f.ReadAt(pre[:], 0); err == nil &&
+		string(pre[:4]) == "DPBF" && binary.LittleEndian.Uint16(pre[4:]) == 2 {
+		if err := summarizeChunks(f); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
 	b, err := trace.ReadTrace(f)
 	if err != nil {
 		return err

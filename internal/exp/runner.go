@@ -8,6 +8,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -99,6 +101,14 @@ type Runner struct {
 	jobs   int
 	sem    chan struct{} // worker-pool slots, capacity jobs
 
+	// traceDir, when set (SetTraceDir), switches the trace plane from
+	// in-memory materialized buffers to compressed DPBF v2 files in this
+	// directory: each workload's stream is recorded once (single-flight,
+	// temp+rename) and every worker replays it through its own streaming
+	// chunk cursor, so memory stays bounded by chunks-in-flight instead of
+	// the full warmup+measure trace.
+	traceDir string
+
 	// ctx is the base context Run and RunGrid execute under (SetContext);
 	// nil means context.Background(). The explicit-context entry points
 	// RunContext/RunGridContext take precedence over it.
@@ -154,10 +164,13 @@ type memoEntry struct {
 	err  error
 }
 
-// bufEntry is one single-flight slot of the trace-buffer memo.
+// bufEntry is one single-flight slot of the trace memo: exactly one of buf
+// (in-memory materialized buffer) or ct (disk-backed DPBF v2 trace, the
+// SetTraceDir mode) is set on success.
 type bufEntry struct {
 	done chan struct{}
 	buf  *trace.Buffer
+	ct   *trace.ChunkedTrace
 	err  error
 }
 
@@ -212,6 +225,17 @@ func (r *Runner) Jobs() int { return r.jobs }
 // signature) inherit cancellation without any signature change. nil
 // restores context.Background().
 func (r *Runner) SetContext(ctx context.Context) { r.ctx = ctx }
+
+// SetTraceDir switches the runner to streamed traces: workloads are
+// recorded once as compressed DPBF v2 files under dir (reusing a file from
+// a previous run when its name matches the workload, seed and length) and
+// replayed from disk through per-worker chunk cursors. Results are
+// byte-identical to the default in-memory mode at any job count — both
+// paths feed the batched columnar loop (sim.System.RunBufferContext) —
+// but the warm-state fork optimization is disabled, since forking resumes
+// mid-buffer. The directory must exist; trace files opened from it stay
+// open for the runner's lifetime. Call before submitting work.
+func (r *Runner) SetTraceDir(dir string) { r.traceDir = dir }
 
 // baseCtx returns the runner's base context.
 func (r *Runner) baseCtx() context.Context {
@@ -397,11 +421,15 @@ func (r *Runner) RunGridContext(ctx context.Context, workloads []trace.Workload,
 	return nil
 }
 
-// generator returns a fresh start-positioned view over the workload's
-// materialized trace buffer. The buffer itself is built once per workload
-// (single-flight, covering warmup+measure) and shared read-only afterwards;
-// callers each get an independent cursor.
-func (r *Runner) generator(ctx context.Context, w trace.Workload) (*trace.BufferReader, error) {
+// generator returns a fresh start-positioned cursor over the workload's
+// trace. The trace itself is built once per workload (single-flight,
+// covering warmup+measure) and shared read-only afterwards; callers each
+// get an independent cursor. In the default mode that is a BufferReader
+// over an in-memory materialized buffer; with SetTraceDir it is a
+// StreamReader over a compressed DPBF v2 file on disk. Either way the
+// cursor implements trace.ChunkReader, so every run takes the batched
+// columnar simulation path.
+func (r *Runner) generator(ctx context.Context, w trace.Workload) (trace.Generator, error) {
 	r.bufMu.Lock()
 	e, ok := r.bufMemo[w.Name]
 	if !ok {
@@ -422,6 +450,10 @@ func (r *Runner) generator(ctx context.Context, w trace.Workload) (*trace.Buffer
 				}
 				close(e.done)
 			}()
+			if r.traceDir != "" {
+				e.ct, e.err = r.streamWorkload(ctx, w)
+				return
+			}
 			e.buf, e.err = trace.MaterializeContext(ctx, w.New(r.params.Seed), r.params.Warmup+r.params.Measure)
 		}()
 	} else {
@@ -435,7 +467,72 @@ func (r *Runner) generator(ctx context.Context, w trace.Workload) (*trace.Buffer
 	if e.err != nil {
 		return nil, e.err
 	}
+	if e.ct != nil {
+		return e.ct.NewReader(), nil
+	}
 	return e.buf.Reader(), nil
+}
+
+// streamWorkload records the workload's warmup+measure stream as a
+// compressed DPBF v2 file under traceDir (or reuses an existing file whose
+// name encodes the same workload, seed and length) and opens it for
+// chunk-streamed random access. The write goes to a temp file renamed into
+// place, so a crashed or canceled recording never leaves a truncated file
+// that a later run would trust; the opened file handle stays live for the
+// runner's lifetime, shared by every StreamReader.
+func (r *Runner) streamWorkload(ctx context.Context, w trace.Workload) (*trace.ChunkedTrace, error) {
+	n := r.params.Warmup + r.params.Measure
+	path := filepath.Join(r.traceDir, fmt.Sprintf("%s-seed%d-n%d.dpbf", w.Name, r.params.Seed, n))
+	f, err := os.Open(path)
+	if err != nil {
+		tmp, terr := os.CreateTemp(r.traceDir, w.Name+".*.tmp")
+		if terr != nil {
+			return nil, fmt.Errorf("exp: recording %s: %w", w.Name, terr)
+		}
+		werr := trace.RecordV2Context(ctx, tmp, w.New(r.params.Seed), n)
+		if cerr := tmp.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Rename(tmp.Name(), path)
+		}
+		if werr != nil {
+			os.Remove(tmp.Name())
+			return nil, fmt.Errorf("exp: recording %s: %w", w.Name, werr)
+		}
+		if f, err = os.Open(path); err != nil {
+			return nil, fmt.Errorf("exp: recording %s: %w", w.Name, err)
+		}
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("exp: opening cached trace %s: %w", path, err)
+	}
+	ct, err := trace.OpenChunked(f, info.Size())
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("exp: opening cached trace %s: %w", path, err)
+	}
+	if ct.Len() != n || ct.Name() != w.Name {
+		f.Close()
+		return nil, fmt.Errorf("exp: cached trace %s holds %d accesses of %q, want %d of %q; delete it to re-record",
+			path, ct.Len(), ct.Name(), n, w.Name)
+	}
+	return ct, nil
+}
+
+// runSystem feeds n accesses from g into s, taking the batched columnar
+// path (sim.System.RunBufferContext) whenever the generator can serve
+// chunks — materialized buffers and streamed DPBF v2 traces alike — and
+// the per-access path otherwise. The two paths are bit-identical by
+// contract (sim's TestRunBufferMatchesStep), so which one a cell takes is
+// purely a throughput matter.
+func runSystem(ctx context.Context, s *sim.System, g trace.Generator, n uint64) error {
+	if cr, ok := g.(trace.ChunkReader); ok {
+		return s.RunBufferContext(ctx, cr, n)
+	}
+	return s.RunContext(ctx, g, n)
 }
 
 // BuildSystem constructs the machine and its predictors/prefetcher for a
@@ -492,7 +589,7 @@ func (r *Runner) measure(ctx context.Context, s *sim.System, g trace.Generator, 
 		s.EnableCharacterization(r.params.SampleEvery)
 	}
 	s.StartMeasurement()
-	if err := s.RunContext(ctx, g, r.params.Measure); err != nil {
+	if err := runSystem(ctx, s, g, r.params.Measure); err != nil {
 		return sim.Result{}, err
 	}
 	s.Finish()
@@ -500,11 +597,13 @@ func (r *Runner) measure(ctx context.Context, s *sim.System, g trace.Generator, 
 }
 
 // warmShareable reports whether a setup can take the warm-state fork path:
-// it must declare a WarmupKey, and nothing may need to observe the warmup
+// it must declare a WarmupKey, nothing may need to observe the warmup
 // prefix itself (observers attach before warmup; the oracle's record pass
-// and prefetchers manage their own state).
+// and prefetchers manage their own state), and the trace must live in
+// memory — the warm memo resumes consumers from a shared Buffer position,
+// which a disk-streamed trace has no equivalent of.
 func (r *Runner) warmShareable(setup Setup) bool {
-	return setup.WarmupKey != "" && r.Observer == nil &&
+	return setup.WarmupKey != "" && r.Observer == nil && r.traceDir == "" &&
 		!setup.Oracle && setup.Prefetch == nil
 }
 
@@ -542,11 +641,14 @@ func (r *Runner) runShared(ctx context.Context, w trace.Workload, setup Setup) (
 				e.err = err
 				return
 			}
-			if err := sys.RunContext(ctx, rd, r.params.Warmup); err != nil {
+			if err := runSystem(ctx, sys, rd, r.params.Warmup); err != nil {
 				e.err = err
 				return
 			}
-			e.sys, e.buf, e.pos = sys, rd.Buffer(), rd.Pos()
+			// warmShareable guarantees the in-memory trace mode, so the
+			// cursor is a BufferReader whose position the forks resume from.
+			br := rd.(*trace.BufferReader)
+			e.sys, e.buf, e.pos = sys, br.Buffer(), br.Pos()
 		}()
 	} else {
 		r.warmMu.Unlock()
@@ -652,7 +754,7 @@ func (r *Runner) runUncached(ctx context.Context, w trace.Workload, setup Setup)
 	if err != nil {
 		return sim.Result{}, err
 	}
-	if err := s.RunContext(ctx, g, r.params.Warmup); err != nil {
+	if err := runSystem(ctx, s, g, r.params.Warmup); err != nil {
 		return sim.Result{}, err
 	}
 	return r.measure(ctx, s, g, setup)
@@ -673,7 +775,7 @@ func (r *Runner) recordPass(ctx context.Context, w trace.Workload, cfgFn func() 
 	if err != nil {
 		return nil, err
 	}
-	if err := s.RunContext(ctx, g, r.params.Warmup+r.params.Measure); err != nil {
+	if err := runSystem(ctx, s, g, r.params.Warmup+r.params.Measure); err != nil {
 		return nil, err
 	}
 	return rec, nil

@@ -1,0 +1,387 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+)
+
+// Every batched drain loop below tests the chunk stride with the mask form
+// consumed&(ctxCheckStride-1); that is only equivalent to a modulus when
+// the stride is a power of two, and this constant fails to compile
+// otherwise (a negative value cannot convert to uint).
+const _ uint = -(ctxCheckStride & (ctxCheckStride - 1))
+
+// batchMemo tracks, for the three L1 structures an access stream keeps
+// re-hitting — the two L1 TLBs and the L1D — the slot of the current run's
+// entry plus the run of deferred hits against it. A run of accesses to the
+// same key defers its hit-path side effects (counters, Accessed bit, LRU
+// touches) and applies them in one closed-form HitRun when the run breaks,
+// which is bit-identical to replaying them one by one because nothing else
+// touches the structure mid-run (see the invariant below).
+//
+// Slot resolution is lazy: a slow path records only the key it installed
+// (OK flag) and leaves the set/way unresolved (Loc flag clear). The first
+// repeat of the key probes Locate — a genuine tag check — and only then
+// does the run extend through the memoized slot. Streams with no reuse
+// (run length 1, the common case on low-locality workloads) therefore
+// never pay a Locate per slow path; streams with reuse pay exactly one per
+// run.
+//
+// Invariant: while a structure's Loc flag is set, its memoized slot holds
+// the memoized key and the structure has seen no traffic since the slot
+// was resolved except this memo's own (possibly still pending) hits. The
+// loop maintains it by construction: itlb traffic only originates from
+// instruction-side translate calls, dtlb traffic from data-side translate
+// calls, and l1d traffic from memAccess and from page walks (whose PTE
+// fetches traverse the data caches) — and every one of those slow-path
+// calls first flushes the affected structure's pending run and afterwards
+// re-keys its memo (or, for walk-perturbed L1D state, clears Loc so the
+// next repeat re-probes). Entries can therefore never be evicted or moved
+// behind a set Loc flag, so the run-extension fast path needs no tag check
+// at all. The memo lives on the stack of one RunBatch/RunBuffer call — it
+// is never stored on the System, so Fork, checkpointing and interleaved
+// Step calls are unaffected.
+type batchMemo struct {
+	iKey       arch.VPN // ASID-qualified instruction page
+	iSet, iWay int
+	iOK        bool   // iKey holds the most recent slow-path install
+	iLoc       bool   // iSet/iWay resolved for iKey (implies iOK)
+	iPend      uint64 // deferred hits on the slot
+	iLast      uint64 // timestamp of the newest deferred hit
+
+	dKey       arch.VPN // ASID-qualified data page
+	dPFN       arch.PFN // its translation (immutable while resident)
+	dSet, dWay int
+	dOK        bool
+	dLoc       bool
+	dPend      uint64
+	dLast      uint64
+
+	// bVB keys the L1D run by *virtual* block number. Within one address
+	// space frames are never aliased or remapped (System never unmaps),
+	// so virtual blocks map 1:1 to physical blocks and the fast path can
+	// recognize a same-block repeat without translating at all.
+	bVB        uint64
+	bSet, bWay int
+	bOK        bool
+	bLoc       bool
+	bPend      uint64
+	bLast      uint64
+	bDirty     bool // OR of the deferred hits' write bits
+
+	// Per-structure CoalescibleHits, resolved once per run: a pluggable
+	// replacement policy keeps opaque per-hit state, so its hits are
+	// replayed individually through HitAt instead of deferred.
+	iCo, dCo, bCo bool
+}
+
+func (s *System) newBatchMemo() batchMemo {
+	return batchMemo{
+		iCo: s.itlb.Inner().CoalescibleHits(),
+		dCo: s.dtlb.Inner().CoalescibleHits(),
+		bCo: s.l1d.CoalescibleHits(),
+	}
+}
+
+// flushRuns applies every pending deferred-hit run. Called whenever the
+// pending hits' structure is about to see other traffic, before anything
+// that reads structure state (segment epilogues, returns), and on the
+// error path so the machine is always left consistent.
+func (s *System) flushRuns(m *batchMemo) {
+	if m.iPend > 0 {
+		s.itlb.Inner().HitRun(m.iSet, m.iWay, m.iPend, m.iLast)
+		m.iPend = 0
+	}
+	if m.dPend > 0 {
+		s.dtlb.Inner().HitRun(m.dSet, m.dWay, m.dPend, m.dLast)
+		m.dPend = 0
+	}
+	if m.bPend > 0 {
+		b := s.l1d.HitRun(m.bSet, m.bWay, m.bPend, m.bLast)
+		b.Dirty = b.Dirty || m.bDirty
+		m.bPend, m.bDirty = 0, false
+	}
+}
+
+// RunBatch feeds one columnar batch of accesses through the machine. The
+// parallel slices hold one access per index in the Buffer's
+// struct-of-arrays layout (flags as in trace.FlagWrite/FlagDependent).
+// Results are bit-identical to calling Step once per access.
+func (s *System) RunBatch(pc, va []uint64, gap []uint32, flags []uint8) error {
+	m := s.newBatchMemo()
+	_, err := s.runBatch(&m, pc, va, gap, flags)
+	return err
+}
+
+// runBatch is the batched inner loop. It replicates Step exactly — same
+// structure-touch order, same timestamps, same counter increments — but
+// hoists the per-access sampler/interval modulus checks out of the loop
+// (the loop is split at the next sampling boundary and the checks run in
+// a per-segment epilogue) and turns same-page/same-block runs into
+// deferred-hit runs resolved by one coalesced update each. On error it
+// returns the index of the access that failed.
+func (s *System) runBatch(m *batchMemo, pc, va []uint64, gap []uint32, flags []uint8) (int, error) {
+	n := len(pc)
+	asid := arch.VPN(s.asidKey)
+	i := 0
+	for i < n {
+		// Split the batch at the next access count where Step would run a
+		// sampler or interval snapshot, so the inner loop needs no modulus
+		// checks and the epilogue fires them at exactly Step's points.
+		lim := n
+		if s.lltSampler != nil {
+			if next := i + int(s.sampleEvery-s.accesses%s.sampleEvery); next < lim {
+				lim = next
+			}
+		}
+		if s.intervalEvery != 0 {
+			if next := i + int(s.intervalEvery-s.accesses%s.intervalEvery); next < lim {
+				lim = next
+			}
+		}
+
+		for ; i < lim; i++ {
+			if g := gap[i]; g > 0 {
+				if cc := s.cpuCore; cc != nil {
+					cc.Advance(uint64(g))
+				} else {
+					s.core.Advance(uint64(g))
+				}
+			}
+			if cc := s.cpuCore; cc != nil {
+				s.stepNow = uint64(cc.Cycles())
+			} else {
+				s.stepNow = uint64(s.core.Cycles())
+			}
+			s.accesses++
+			now := s.stepNow
+
+			// Instruction-side translation. A repeat of the memoized
+			// instruction page extends the deferred-hit run (latency 0, as
+			// L1 hits are free); anything else flushes the run and takes
+			// the full translate path, then re-keys the memo. The slot is
+			// resolved lazily on the first repeat.
+			var iLat arch.Lat
+			ivpn := arch.VAddr(pc[i]).Page() | asid
+			iHit := m.iOK && ivpn == m.iKey
+			if iHit && !m.iLoc {
+				m.iSet, m.iWay, m.iLoc = s.itlb.Inner().Locate(uint64(ivpn))
+				iHit = m.iLoc
+			}
+			if iHit {
+				if m.iCo {
+					m.iPend++
+					m.iLast = now
+				} else {
+					s.itlb.Inner().HitAt(m.iSet, m.iWay, uint64(ivpn), now)
+				}
+			} else {
+				// A translate may page-walk, and PTE fetches traverse the
+				// data caches: settle the L1D run first and drop its memo
+				// if a walk really happened.
+				if m.bPend > 0 {
+					b := s.l1d.HitRun(m.bSet, m.bWay, m.bPend, m.bLast)
+					b.Dirty = b.Dirty || m.bDirty
+					m.bPend, m.bDirty = 0, false
+				}
+				if m.iPend > 0 {
+					s.itlb.Inner().HitRun(m.iSet, m.iWay, m.iPend, m.iLast)
+					m.iPend = 0
+				}
+				walks := s.walks
+				lat, _, err := s.translate(arch.VAddr(pc[i]).Page(), pc[i], true)
+				if err != nil {
+					s.flushRuns(m)
+					return i, err
+				}
+				iLat = lat
+				if s.walks != walks {
+					m.bLoc = false
+				}
+				m.iKey, m.iOK, m.iLoc = ivpn, true, false
+			}
+
+			// Data-side translation; the memo carries the page's PFN,
+			// which is immutable while the entry is resident.
+			var dLat arch.Lat
+			var pfn arch.PFN
+			dvpn := arch.VAddr(va[i]).Page() | asid
+			dHit := m.dOK && dvpn == m.dKey
+			if dHit && !m.dLoc {
+				m.dSet, m.dWay, m.dLoc = s.dtlb.Inner().Locate(uint64(dvpn))
+				dHit = m.dLoc
+			}
+			if dHit {
+				pfn = m.dPFN
+				if m.dCo {
+					m.dPend++
+					m.dLast = now
+				} else {
+					s.dtlb.Inner().HitAt(m.dSet, m.dWay, uint64(dvpn), now)
+				}
+			} else {
+				if m.bPend > 0 {
+					b := s.l1d.HitRun(m.bSet, m.bWay, m.bPend, m.bLast)
+					b.Dirty = b.Dirty || m.bDirty
+					m.bPend, m.bDirty = 0, false
+				}
+				if m.dPend > 0 {
+					s.dtlb.Inner().HitRun(m.dSet, m.dWay, m.dPend, m.dLast)
+					m.dPend = 0
+				}
+				walks := s.walks
+				lat, p, err := s.translate(arch.VAddr(va[i]).Page(), pc[i], false)
+				if err != nil {
+					s.flushRuns(m)
+					return i, err
+				}
+				dLat, pfn = lat, p
+				if s.walks != walks {
+					m.bLoc = false
+				}
+				m.dKey, m.dPFN = dvpn, p
+				m.dOK, m.dLoc = true, false
+			}
+
+			// Data access. A same-virtual-block repeat extends the L1D
+			// run without translating (the fast path above already proved
+			// nothing remapped); a new block flushes the run, takes the
+			// full memAccess path and re-keys. The slot resolves lazily on
+			// the first repeat — and re-resolves after a page walk
+			// perturbed the data caches, so a block that survived the
+			// walk's PTE fetches keeps its run (exactly the L1D hit Step
+			// would take), while an evicted one falls through to memAccess
+			// (exactly Step's miss).
+			write := flags[i]&trace.FlagWrite != 0
+			var memLat arch.Lat
+			vb := va[i] >> arch.BlockShift
+			bHit := m.bOK && vb == m.bVB
+			if bHit && !m.bLoc {
+				pa := arch.Translate(pfn, arch.VAddr(va[i]))
+				key := uint64(pa.Block() >> arch.BlockShift)
+				m.bSet, m.bWay, m.bLoc = s.l1d.Locate(key)
+				bHit = m.bLoc
+			}
+			if bHit {
+				memLat = s.cfg.L1D.Latency
+				if m.bCo {
+					m.bPend++
+					m.bLast = now
+					m.bDirty = m.bDirty || write
+				} else {
+					pa := arch.Translate(pfn, arch.VAddr(va[i]))
+					key := uint64(pa.Block() >> arch.BlockShift)
+					if b, ok := s.l1d.HitAt(m.bSet, m.bWay, key, now); ok {
+						b.Dirty = b.Dirty || write
+					}
+				}
+			} else {
+				if m.bPend > 0 {
+					b := s.l1d.HitRun(m.bSet, m.bWay, m.bPend, m.bLast)
+					b.Dirty = b.Dirty || m.bDirty
+					m.bPend, m.bDirty = 0, false
+				}
+				pa := arch.Translate(pfn, arch.VAddr(va[i]))
+				memLat = s.memAccess(pa, pc[i], write)
+				m.bVB = vb
+				m.bOK, m.bLoc = true, false
+			}
+
+			if s.histMemLat != nil {
+				s.histMemLat.Observe(uint64(iLat) + uint64(dLat) + uint64(memLat))
+			}
+			if cc := s.cpuCore; cc != nil {
+				cc.Memory(uint64(iLat)+uint64(dLat)+uint64(memLat), flags[i]&trace.FlagDependent != 0)
+			} else {
+				s.core.Memory(uint64(iLat)+uint64(dLat)+uint64(memLat), flags[i]&trace.FlagDependent != 0)
+			}
+		}
+
+		// Epilogue: settle the deferred runs (the samplers and the
+		// interval snapshot read structure state and counters), then the
+		// checks Step runs after every access — valid here because the
+		// segment limit guarantees no boundary was crossed mid-segment.
+		// Order matches Step: samplers, then the interval.
+		s.flushRuns(m)
+		if s.lltSampler != nil && s.accesses%s.sampleEvery == 0 {
+			s.lltSampler.Sample(s.llt.Inner())
+			s.llcSampler.Sample(s.llc)
+		}
+		if s.intervalEvery != 0 && s.accesses%s.intervalEvery == 0 {
+			s.sampleInterval()
+		}
+	}
+	return n, nil
+}
+
+// RunBuffer feeds n accesses through the machine in columnar chunks
+// drained from src — the batched equivalent of Run over the same
+// generator, with bit-identical results.
+func (s *System) RunBuffer(src trace.ChunkReader, n uint64) error {
+	return s.RunBufferContext(context.Background(), src, n)
+}
+
+// RunBufferContext is RunBuffer with cancellation, checked at chunk
+// boundaries — at least the ctxCheckStride granularity of RunContext,
+// since chunks are never longer than the stride.
+func (s *System) RunBufferContext(ctx context.Context, src trace.ChunkReader, n uint64) error {
+	m := s.newBatchMemo()
+	done := ctx.Done()
+	for consumed := uint64(0); consumed < n; {
+		if done != nil {
+			select {
+			case <-done:
+				return fmt.Errorf("sim: canceled at access %d of %d: %w", consumed, n, ctx.Err())
+			default:
+			}
+		}
+		want := n - consumed
+		if want > ctxCheckStride {
+			want = ctxCheckStride
+		}
+		c, _ := src.NextChunk(int(want))
+		if c.Len() == 0 {
+			// The source can produce no records (empty trace, or a v2
+			// stream that latched a decode error mid-run). The per-access
+			// path defines the behaviour here — Next keeps returning the
+			// latched last/zero access and GeneratorErr reports the cause
+			// — so finish the run through it for bit-identical results.
+			return s.stepRemaining(ctx, src, consumed, n)
+		}
+		at, err := s.runBatch(&m, c.PC, c.VA, c.Gap, c.Flags)
+		if err != nil {
+			return fmt.Errorf("sim: access %d: %w", consumed+uint64(at), err)
+		}
+		consumed += uint64(c.Len())
+	}
+	if err := trace.GeneratorErr(src); err != nil {
+		return fmt.Errorf("sim: after %d accesses: %w", n, err)
+	}
+	return nil
+}
+
+// stepRemaining finishes accesses [consumed, n) through the per-access
+// path, mirroring RunContext's loop exactly (stride-masked context checks,
+// identical error wrapping with global indices, trailing GeneratorErr).
+func (s *System) stepRemaining(ctx context.Context, g trace.Generator, consumed, n uint64) error {
+	done := ctx.Done()
+	for i := consumed; i < n; i++ {
+		if done != nil && i&(ctxCheckStride-1) == 0 {
+			select {
+			case <-done:
+				return fmt.Errorf("sim: canceled at access %d of %d: %w", i, n, ctx.Err())
+			default:
+			}
+		}
+		if err := s.Step(g.Next()); err != nil {
+			return fmt.Errorf("sim: access %d: %w", i, err)
+		}
+	}
+	if err := trace.GeneratorErr(g); err != nil {
+		return fmt.Errorf("sim: after %d accesses: %w", n, err)
+	}
+	return nil
+}

@@ -1,0 +1,384 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// materializeWorkload captures n accesses of a named workload into a
+// columnar buffer (the input both execution paths replay from).
+func materializeWorkload(tb testing.TB, name string, seed, n uint64) *trace.Buffer {
+	tb.Helper()
+	w, err := trace.ByName(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b, err := trace.Materialize(w.New(seed), n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+// checkpointBytes serializes the machine's full warm state, the strongest
+// equality the simulator can express: every TLB entry, cache block,
+// page-table node, predictor table and counter must match bit for bit.
+func checkpointBytes(tb testing.TB, s *System) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteCheckpoint(&buf, "batch-diff"); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunBufferMatchesStep is the batched path's correctness contract:
+// feeding the same trace through RunBuffer must leave the machine in a
+// state bit-identical to the per-access Step loop — same Result, same
+// checkpoint image — across predictor, sampler and interval-observer
+// configurations (the sampler/interval cases exercise the segment
+// splitting that hoists the modulus checks out of the inner loop).
+func TestRunBufferMatchesStep(t *testing.T) {
+	// Odd warm/measure counts so chunk boundaries never line up with
+	// ctxCheckStride, and the run wraps the buffer several times.
+	const bufLen, warm, meas = 10_007, 20_011, 30_031
+	scenarios := []struct {
+		name  string
+		ckpt  bool // instrumented machines refuse to checkpoint
+		setup func(t *testing.T, s *System)
+	}{
+		{"baseline", true, func(t *testing.T, s *System) {}},
+		{"dp-predictor", true, func(t *testing.T, s *System) {
+			dp, err := newTestDPPred(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.SetTLBPredictor(dp)
+		}},
+		{"characterization", false, func(t *testing.T, s *System) {
+			// A prime sampleEvery keeps sampling points misaligned with
+			// every chunk boundary.
+			s.EnableCharacterization(4099)
+		}},
+		{"intervals", false, func(t *testing.T, s *System) {
+			s.AttachObserver(&obs.Observer{Interval: obs.NewIntervalRecorder(5003)})
+		}},
+	}
+	for _, wl := range []string{"sssp", "mcf"} {
+		buf := materializeWorkload(t, wl, 7, bufLen)
+		for _, sc := range scenarios {
+			t.Run(wl+"/"+sc.name, func(t *testing.T) {
+				stepSys := MustNew(smallConfig())
+				sc.setup(t, stepSys)
+				rd := buf.Reader()
+				if err := stepSys.Run(rd, warm); err != nil {
+					t.Fatal(err)
+				}
+				stepSys.StartMeasurement()
+				if err := stepSys.Run(rd, meas); err != nil {
+					t.Fatal(err)
+				}
+
+				batchSys := MustNew(smallConfig())
+				sc.setup(t, batchSys)
+				brd := buf.Reader()
+				if err := batchSys.RunBuffer(brd, warm); err != nil {
+					t.Fatal(err)
+				}
+				batchSys.StartMeasurement()
+				if err := batchSys.RunBuffer(brd, meas); err != nil {
+					t.Fatal(err)
+				}
+
+				if a, b := stepSys.Result(), batchSys.Result(); a != b {
+					t.Errorf("results diverged:\n  step:  %+v\n  batch: %+v", a, b)
+				}
+				if sc.ckpt {
+					if a, b := checkpointBytes(t, stepSys), checkpointBytes(t, batchSys); !bytes.Equal(a, b) {
+						t.Errorf("checkpoints diverged (%d vs %d bytes)", len(a), len(b))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunBufferStreamedV2MatchesStep closes the loop end to end: a trace
+// round-tripped through the compressed v2 format and replayed chunk by
+// chunk through the batched path must match the per-access replay of the
+// in-memory original.
+func TestRunBufferStreamedV2MatchesStep(t *testing.T) {
+	const bufLen, n = 10_007, 25_013
+	buf := materializeWorkload(t, "cc", 11, bufLen)
+	var enc bytes.Buffer
+	if _, err := buf.WriteToV2(&enc); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := trace.OpenChunked(bytes.NewReader(enc.Bytes()), int64(enc.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stepSys := MustNew(smallConfig())
+	stepSys.StartMeasurement()
+	if err := stepSys.Run(buf.Reader(), n); err != nil {
+		t.Fatal(err)
+	}
+	batchSys := MustNew(smallConfig())
+	batchSys.StartMeasurement()
+	if err := batchSys.RunBuffer(ct.NewReader(), n); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := stepSys.Result(), batchSys.Result(); a != b {
+		t.Errorf("results diverged:\n  step:  %+v\n  batch: %+v", a, b)
+	}
+	if a, b := checkpointBytes(t, stepSys), checkpointBytes(t, batchSys); !bytes.Equal(a, b) {
+		t.Errorf("checkpoints diverged (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestRunBufferEmptySource: an empty trace must fail through the batched
+// path with exactly the error the per-access path reports (the empty
+// chunk falls back to stepping the latched zero access).
+func TestRunBufferEmptySource(t *testing.T) {
+	empty := trace.NewBuffer("empty", 0)
+	stepErr := MustNew(smallConfig()).Run(empty.Reader(), 100)
+	batchErr := MustNew(smallConfig()).RunBuffer(empty.Reader(), 100)
+	if stepErr == nil || batchErr == nil {
+		t.Fatalf("empty trace accepted: step=%v batch=%v", stepErr, batchErr)
+	}
+	if stepErr.Error() != batchErr.Error() {
+		t.Errorf("error mismatch:\n  step:  %v\n  batch: %v", stepErr, batchErr)
+	}
+}
+
+// TestRunBufferContextCanceled: cancellation must land at a chunk
+// boundary with the same error shape as the per-access path.
+func TestRunBufferContextCanceled(t *testing.T) {
+	buf := materializeWorkload(t, "sssp", 3, 4096)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := MustNew(smallConfig()).RunBufferContext(ctx, buf.Reader(), 1<<20)
+	if err == nil {
+		t.Fatal("canceled context did not stop the run")
+	}
+	if want := fmt.Sprintf("sim: canceled at access 0 of %d: %v", 1<<20, context.Canceled); err.Error() != want {
+		t.Errorf("error = %q, want %q", err, want)
+	}
+}
+
+// TestMultiChunkedMatchesPerAccess: MultiSystem's chunked step loop must
+// be bit-identical to the per-access loop — same scheduling, same unmap
+// injection, same shootdowns — when the tenant generators support chunk
+// draining. The per-access run hides the ChunkReader view behind a plain
+// Generator wrapper to force the old loop.
+func TestMultiChunkedMatchesPerAccess(t *testing.T) {
+	mc := MultiConfig{
+		Machine:    smallConfig(),
+		Cores:      2,
+		Tenants:    3,
+		Quantum:    101,
+		Shootdown:  ShootdownFlushASID,
+		UnmapEvery: 503,
+	}
+	bufs := []*trace.Buffer{
+		materializeWorkload(t, "sssp", 1, 5003),
+		materializeWorkload(t, "cc", 2, 5003),
+		materializeWorkload(t, "mcf", 3, 5003),
+	}
+	const n = 30_011
+
+	run := func(chunked bool) (*MultiSystem, MultiResult) {
+		m, err := NewMulti(mc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens := make([]trace.Generator, len(bufs))
+		for i, b := range bufs {
+			if chunked {
+				gens[i] = b.Reader()
+			} else {
+				gens[i] = genOnly{b.Reader()}
+			}
+		}
+		m.StartMeasurement()
+		if err := m.Run(gens, n); err != nil {
+			t.Fatal(err)
+		}
+		return m, m.Result()
+	}
+	pm, pr := run(false)
+	cm, cr := run(true)
+	if fmt.Sprintf("%+v", pr) != fmt.Sprintf("%+v", cr) {
+		t.Errorf("results diverged:\n  per-access: %+v\n  chunked:    %+v", pr, cr)
+	}
+	var pb, cb bytes.Buffer
+	if err := pm.WriteCheckpoint(&pb, "multi-diff"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.WriteCheckpoint(&cb, "multi-diff"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb.Bytes(), cb.Bytes()) {
+		t.Errorf("checkpoints diverged (%d vs %d bytes)", pb.Len(), cb.Len())
+	}
+}
+
+// genOnly narrows a ChunkReader to the plain Generator interface, forcing
+// the per-access code paths in differential tests.
+type genOnly struct{ g trace.Generator }
+
+func (w genOnly) Next() trace.Access { return w.g.Next() }
+func (w genOnly) Name() string       { return w.g.Name() }
+
+// TestBatchSteadyStateZeroAlloc: the batched inner loop must not allocate
+// once the machine is warm — the whole point of draining columnar chunks
+// is that the steady state runs allocation-free.
+func TestBatchSteadyStateZeroAlloc(t *testing.T) {
+	buf := materializeWorkload(t, "sssp", 5, 8192)
+	s := MustNew(smallConfig())
+	rd := buf.Reader()
+	// Warm every structure and map every page the trace touches.
+	if err := s.RunBuffer(rd, 64_000); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		if err := s.RunBuffer(rd, 8192); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("steady-state RunBuffer allocated %.1f times per run, want 0", avg)
+	}
+}
+
+// FuzzBatchVsStep feeds fuzzer-shaped access sequences through both
+// execution paths on two identical machines and requires identical final
+// Results and bit-identical checkpoints. VAs are masked to a small window
+// so arbitrary bytes cannot exhaust physical memory, and PCs to a window
+// that still spans many pages.
+func FuzzBatchVsStep(f *testing.F) {
+	for _, wl := range []string{"sssp", "cc"} {
+		b := materializeWorkload(f, wl, 1, 64)
+		var raw []byte
+		for i := uint64(0); i < b.Len(); i++ {
+			a := b.At(i)
+			var rec [18]byte
+			binary.LittleEndian.PutUint64(rec[0:], a.PC)
+			binary.LittleEndian.PutUint64(rec[8:], uint64(a.Addr))
+			rec[16] = byte(a.Gap)
+			if a.Write {
+				rec[17] |= 1
+			}
+			if a.Dependent {
+				rec[17] |= 2
+			}
+			raw = append(raw, rec[:]...)
+		}
+		f.Add(raw, uint64(300))
+	}
+	f.Add([]byte{}, uint64(10))
+	f.Add(bytes.Repeat([]byte{0xAB}, 18*7), uint64(9001))
+
+	f.Fuzz(func(t *testing.T, data []byte, n uint64) {
+		nrec := len(data) / 18
+		if nrec == 0 || nrec > 4096*3 {
+			return
+		}
+		// Cap the run so one fuzz exec stays in the milliseconds: 16k+
+		// accesses cross several chunk boundaries and wrap small inputs
+		// many times, which is where the interesting divergence would be.
+		n %= 16_384
+		buf := trace.NewBuffer("fuzz", nrec)
+		for i := 0; i < nrec; i++ {
+			rec := data[i*18:]
+			buf.Append(trace.Access{
+				PC:        binary.LittleEndian.Uint64(rec) & 0x3F_FFFF,
+				Addr:      arch.VAddr(binary.LittleEndian.Uint64(rec[8:]) & 0xFF_FFFF),
+				Gap:       uint32(rec[16] & 0x3F),
+				Write:     rec[17]&1 != 0,
+				Dependent: rec[17]&2 != 0,
+			})
+		}
+
+		stepSys := MustNew(smallConfig())
+		stepErr := stepSys.Run(buf.Reader(), n)
+		batchSys := MustNew(smallConfig())
+		batchErr := batchSys.RunBuffer(buf.Reader(), n)
+
+		if (stepErr == nil) != (batchErr == nil) {
+			t.Fatalf("error presence diverged: step=%v batch=%v", stepErr, batchErr)
+		}
+		if stepErr != nil {
+			return
+		}
+		if a, b := stepSys.Result(), batchSys.Result(); a != b {
+			t.Fatalf("results diverged:\n  step:  %+v\n  batch: %+v", a, b)
+		}
+		if a, b := checkpointBytes(t, stepSys), checkpointBytes(t, batchSys); !bytes.Equal(a, b) {
+			t.Fatal("checkpoints diverged")
+		}
+	})
+}
+
+// replayBenchBuffer builds the locality-heavy replay trace the warm
+// benchmarks share: a handful of PC sites sweeping sequentially over a
+// 16 KiB window — a hot kernel loop whose working set is L1-resident, so
+// once warm every structure hits and the measurement isolates pure
+// replay cost (generator dispatch, record reconstruction, repeated
+// associative lookups) from miss handling, which is identical in both
+// paths. The batched path's memoized run fast paths target exactly this
+// regime; the per-access benchmark on the same buffer is its honest
+// baseline.
+func replayBenchBuffer(tb testing.TB) *trace.Buffer {
+	tb.Helper()
+	const n = 1 << 16
+	b := trace.NewBuffer("replay-warm", n)
+	for i := 0; i < n; i++ {
+		pc := 0x400000 + uint64(i&7)*4
+		va := 0x10000000 + uint64(i*8)&(1<<14-1)
+		b.Append(trace.Access{PC: pc, Addr: arch.VAddr(va), Gap: 1, Write: i&15 == 0})
+	}
+	return b
+}
+
+// BenchmarkStepWarmReplay: per-access replay cost of a warm machine on
+// the locality-heavy buffer — the baseline BenchmarkRunBufferWarm is
+// gated against.
+func BenchmarkStepWarmReplay(b *testing.B) {
+	s := MustNew(DefaultConfig())
+	buf := replayBenchBuffer(b)
+	rd := buf.Reader()
+	if err := s.Run(rd, buf.Len()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(rd.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunBufferWarm: batched replay of the same buffer on the same
+// warm machine, drained in columnar chunks.
+func BenchmarkRunBufferWarm(b *testing.B) {
+	s := MustNew(DefaultConfig())
+	buf := replayBenchBuffer(b)
+	rd := buf.Reader()
+	if err := s.RunBuffer(rd, buf.Len()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.RunBuffer(rd, uint64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -28,10 +28,15 @@ type Buffer struct {
 }
 
 // Per-record flag bits of the packed flags byte. Bits 2..7 are reserved
-// and must be zero on disk.
+// and must be zero on disk. FlagWrite and FlagDependent are exported so the
+// batched simulation path (sim.System.RunBatch) can decode a flags column
+// without reconstructing Access values.
 const (
-	bufFlagWrite     = 1 << 0
-	bufFlagDependent = 1 << 1
+	FlagWrite     uint8 = 1 << 0
+	FlagDependent uint8 = 1 << 1
+
+	bufFlagWrite     = FlagWrite
+	bufFlagDependent = FlagDependent
 	bufFlagReserved  = ^uint8(bufFlagWrite | bufFlagDependent)
 )
 
@@ -61,7 +66,7 @@ func MaterializeContext(ctx context.Context, g Generator, n uint64) (*Buffer, er
 	b := NewBuffer(g.Name(), int(n))
 	done := ctx.Done()
 	for i := uint64(0); i < n; i++ {
-		if done != nil && i%ctxCheckStride == 0 {
+		if done != nil && i&(ctxCheckStride-1) == 0 {
 			select {
 			case <-done:
 				return nil, fmt.Errorf("trace: materializing %s canceled at access %d of %d: %w",
@@ -170,6 +175,63 @@ func (r *BufferReader) Fork() Generator {
 	return &c
 }
 
+// Chunk is a columnar view of consecutive trace accesses: one parallel
+// slice per Access field, in the Buffer's struct-of-arrays layout. The
+// batched simulation loop consumes chunks directly, with no per-access
+// Access reconstruction and no Generator interface call per record.
+type Chunk struct {
+	PC    []uint64
+	VA    []uint64
+	Gap   []uint32
+	Flags []uint8 // FlagWrite | FlagDependent per record
+}
+
+// Len returns the number of accesses in the chunk.
+func (c Chunk) Len() int { return len(c.PC) }
+
+// ChunkReader is a Generator whose stream can also be drained in columnar
+// chunks. BufferReader yields views straight into its shared Buffer;
+// StreamReader (DPBF v2) decodes chunks on demand into reused buffers.
+// Next and NextChunk advance the same cursor and may be interleaved.
+type ChunkReader interface {
+	Generator
+	// NextChunk returns up to max consecutive accesses, advancing the
+	// cursor, and wraps at the end of the stream like Next. It returns a
+	// shorter (but non-empty) chunk at a wrap or chunk boundary; an empty
+	// chunk means the source can produce no records, with the reason
+	// latched on the generator (ErrGenerator) and also returned. The
+	// returned slices are valid only until the next NextChunk/Next call.
+	NextChunk(max int) (Chunk, error)
+}
+
+// NextChunk implements ChunkReader: the returned slices alias the shared
+// immutable Buffer and stay valid indefinitely.
+func (r *BufferReader) NextChunk(max int) (Chunk, error) {
+	if max <= 0 {
+		return Chunk{}, nil
+	}
+	n := r.buf.Len()
+	if r.pos >= n {
+		if n == 0 {
+			r.err = errEmptyTrace
+			return Chunk{}, r.err
+		}
+		r.pos = 0
+	}
+	end := r.pos + uint64(max)
+	if end > n {
+		end = n
+	}
+	c := Chunk{
+		PC:    r.buf.pc[r.pos:end],
+		VA:    r.buf.va[r.pos:end],
+		Gap:   r.buf.gap[r.pos:end],
+		Flags: r.buf.flags[r.pos:end],
+	}
+	r.pos = end
+	return c, nil
+}
+
 // ForkableGenerator is a Generator whose position/state can be duplicated
 // so two consumers continue the same stream independently. BufferReader
 // forks by copying its cursor; the synthetic mix generators fork by
@@ -193,6 +255,12 @@ type ForkableGenerator interface {
 // straight slice copy per field. The format is versioned separately from
 // the record-stream DPTR format in replay.go: DPTR is for interchange with
 // external tools, DPBF is the runner's materialized cache format.
+//
+// Version 2 of the format (bufferv2.go) keeps the magic and the
+// magic|version|flags|name prefix but replaces the raw columns with
+// delta/varint-encoded, per-chunk-compressed columns plus a chunk index in
+// the footer. ReadBuffer dispatches on the version field, so both versions
+// are accepted everywhere a DPBF file is.
 const (
 	bufferMagic   = "DPBF"
 	bufferVersion = 1
@@ -202,7 +270,10 @@ const (
 	bufferChunk = 1 << 16
 )
 
-// WriteTo serializes the buffer. It implements io.WriterTo.
+// WriteTo serializes the buffer in the legacy v1 layout (raw columns). It
+// implements io.WriterTo. New trace files should prefer WriteToV2, which is
+// both smaller and chunk-streamable; v1 writing remains available for one
+// release behind the tools' explicit format flags.
 func (b *Buffer) WriteTo(w io.Writer) (int64, error) {
 	if len(b.name) > 1<<16-1 {
 		return 0, fmt.Errorf("trace: buffer name too long (%d bytes)", len(b.name))
@@ -266,8 +337,9 @@ func (c *countingWriter) u64(v uint64) {
 	c.bytes(b[:])
 }
 
-// ReadBuffer deserializes a buffer written by WriteTo. Truncated, corrupt
-// or future-versioned inputs return an error; they never panic and never
+// ReadBuffer deserializes a buffer written by WriteTo (v1) or WriteToV2,
+// dispatching on the header's version field. Truncated, corrupt or
+// future-versioned inputs return an error; they never panic and never
 // allocate proportionally to an unvalidated count.
 func ReadBuffer(r io.Reader) (*Buffer, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
@@ -278,13 +350,19 @@ func ReadBuffer(r io.Reader) (*Buffer, error) {
 	if string(hdr[:4]) != bufferMagic {
 		return nil, fmt.Errorf("trace: bad buffer magic %q", hdr[:4])
 	}
-	if v := binary.LittleEndian.Uint16(hdr[4:]); v != bufferVersion {
-		return nil, fmt.Errorf("trace: unsupported buffer version %d", v)
-	}
-	if fl := binary.LittleEndian.Uint16(hdr[6:]); fl != 0 {
-		return nil, fmt.Errorf("trace: reserved buffer header flags %#x set", fl)
-	}
+	version := binary.LittleEndian.Uint16(hdr[4:])
+	headerFlags := binary.LittleEndian.Uint16(hdr[6:])
 	nameLen := int(binary.LittleEndian.Uint16(hdr[8:]))
+	switch version {
+	case bufferVersion:
+	case bufferVersion2:
+		return readBufferV2(br, headerFlags, nameLen)
+	default:
+		return nil, fmt.Errorf("trace: unsupported buffer version %d", version)
+	}
+	if headerFlags != 0 {
+		return nil, fmt.Errorf("trace: reserved buffer header flags %#x set", headerFlags)
+	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
 		return nil, fmt.Errorf("trace: reading buffer name: %w", err)

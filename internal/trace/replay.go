@@ -108,7 +108,7 @@ func RecordContext(ctx context.Context, w io.Writer, g Generator, n uint64) erro
 	}
 	done := ctx.Done()
 	for i := uint64(0); i < n; i++ {
-		if done != nil && i%ctxCheckStride == 0 {
+		if done != nil && i&(ctxCheckStride-1) == 0 {
 			select {
 			case <-done:
 				return fmt.Errorf("trace: recording %s canceled at record %d of %d: %w",
@@ -129,8 +129,16 @@ func RecordContext(ctx context.Context, w io.Writer, g Generator, n uint64) erro
 // ctxCheckStride is how many loop iterations drain loops (Record,
 // Materialize, sim.System.RunContext) run between context checks: frequent
 // enough that cancellation lands within microseconds, coarse enough that
-// the check is invisible next to the per-iteration work.
+// the check is invisible next to the per-iteration work. It doubles as the
+// batch granule of the chunked APIs (Buffer.NextChunk, the DPBF v2 chunk
+// size), so cancellation keeps landing at chunk boundaries.
 const ctxCheckStride = 4096
+
+// Every drain loop tests the stride with the mask form
+// i&(ctxCheckStride-1) == 0, which is only equivalent to i%ctxCheckStride
+// when the stride is a power of two; this constant fails to compile
+// otherwise (a negative value cannot convert to uint).
+const _ uint = -(ctxCheckStride & (ctxCheckStride - 1))
 
 // Replayer is a Generator that reads a recorded trace. When the trace is
 // exhausted it either loops (loop=true) or keeps returning the final
