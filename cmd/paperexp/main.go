@@ -10,6 +10,8 @@
 //	paperexp -list           # list experiment IDs and registered predictors
 //	paperexp -jobs 8         # worker-pool width (default GOMAXPROCS)
 //	paperexp -predictors all # extended Table IV across the predictor arena
+//	paperexp -coordinator 127.0.0.1:8080 -memo-dir ./memo  # distributed sweep
+//	paperexp -worker http://127.0.0.1:8080                 # join as a worker
 //
 // -predictors sweeps registered predictors (internal/pred registry) on
 // identical materialized traces and prints the extended Table IV with
@@ -33,6 +35,17 @@
 // holding the materialized buffer in memory. Output stays byte-identical
 // to the in-memory default at any -jobs; see DESIGN.md §16.
 //
+// Distributed sweeps (see DESIGN.md §17): -coordinator ADDR runs the sweep
+// as a coordinator that persists every cell result in the content-addressed
+// -memo-dir memo and serves cells over HTTP to -worker processes;
+// `paperexp -worker URL` pulls cells from a coordinator until the sweep is
+// done. Workers that die mid-cell are detected by lease expiry and their
+// cells requeued; a re-run or restarted coordinator over the same -memo-dir
+// computes only the delta, reporting the split in a final
+// "coordinator status:" line on stderr. -memo-dir alone keeps the sweep
+// in-process but persistent. Printed tables are byte-identical across
+// single-process, distributed and memo-resumed runs.
+//
 // Observability (see DESIGN.md §8): -trace-out FILE streams JSONL (or CSV,
 // by extension) hook-point events (deadsim's -trace is a replay input),
 // -metrics-out FILE writes interval time series plus final counters as
@@ -48,8 +61,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -58,6 +73,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/expserve"
 	"repro/internal/obs"
 	"repro/internal/obs/serve"
 	"repro/internal/pred"
@@ -101,6 +117,27 @@ func main() {
 	}
 }
 
+// printCoordinatorStatus fetches the coordinator's own /status endpoint —
+// the same document workers and CI curl — and prints its counters to
+// stderr in one greppable line. The distributed-smoke CI job parses it to
+// assert that a resumed sweep computed only the delta.
+func printCoordinatorStatus(addr string) {
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get("http://" + addr + "/status")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperexp: coordinator status:", err)
+		return
+	}
+	defer resp.Body.Close()
+	var st expserve.StatusDoc
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		fmt.Fprintln(os.Stderr, "paperexp: coordinator status:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "paperexp: coordinator status: cells=%d memo_hits=%d computed=%d requeues=%d failed=%d\n",
+		st.Cells, st.MemoHits, st.Computed, st.Requeues, st.Failed)
+}
+
 func run() error {
 	var (
 		quick      = flag.Bool("quick", false, "use reduced trace lengths")
@@ -118,6 +155,9 @@ func run() error {
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to file")
 		predictors = flag.String("predictors", "", "extended Table IV sweep: comma-separated registered predictor names, or \"all\" for every TLB-side predictor")
 		multicore  = flag.Bool("multicore", false, "multi-core/multi-tenant interference sweep: dead-page prediction quality vs core count × tenant count")
+		coordAddr  = flag.String("coordinator", "", "run the sweep as a coordinator serving cells to -worker processes on this address (\":0\" picks a free port; requires -memo-dir)")
+		workerURL  = flag.String("worker", "", "run as a sweep worker pulling cells from this coordinator URL (e.g. http://127.0.0.1:8080)")
+		memoDir    = flag.String("memo-dir", "", "persist per-cell results in this directory (created if missing); a re-run with the same memo computes only the delta")
 	)
 	flag.Parse()
 
@@ -129,6 +169,31 @@ func run() error {
 		fmt.Println("\nflag-selected sweeps: -predictors (extended Table IV), -multicore (interference grid)")
 		fmt.Printf("\nregistered predictors (-predictors): %s\n", strings.Join(pred.Names(), ", "))
 		return nil
+	}
+
+	// Worker mode: no experiments of its own — pull cells from the
+	// coordinator until it reports the sweep done (DESIGN.md §17).
+	if *workerURL != "" {
+		if *coordAddr != "" {
+			return fmt.Errorf("-worker and -coordinator are mutually exclusive")
+		}
+		if *memoDir != "" {
+			return fmt.Errorf("-memo-dir belongs on the coordinator; workers hold no memo")
+		}
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stopSignals()
+		if *traceDir != "" {
+			if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "paperexp: worker pulling cells from %s\n", *workerURL)
+		return expserve.RunWorker(ctx, expserve.WorkerConfig{
+			Coordinator: strings.TrimRight(*workerURL, "/"),
+			Jobs:        *jobs,
+			TraceDir:    *traceDir,
+			Verbose:     *verbose,
+		})
 	}
 
 	if *cpuprofile != "" {
@@ -176,6 +241,45 @@ func run() error {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 	r.SetContext(ctx)
+
+	// Distributed sweeps (DESIGN.md §17): -coordinator serves cells to
+	// -worker processes and persists every result in the -memo-dir memo,
+	// so a re-run (or a restarted coordinator) computes only the delta.
+	// -memo-dir alone keeps the sweep in-process but still persistent.
+	if *coordAddr != "" {
+		if *memoDir == "" {
+			return fmt.Errorf("-coordinator requires -memo-dir (the durable cell memo)")
+		}
+		memo, err := expserve.OpenDiskMemo(*memoDir)
+		if err != nil {
+			return err
+		}
+		coord := expserve.NewCoordinator(memo, params)
+		addr, err := coord.Start(*coordAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "paperexp: coordinating on http://%s\n", addr)
+		r.Executor = coord.Execute
+		defer func() {
+			coord.Finish()
+			printCoordinatorStatus(addr)
+			// Give polling workers one round-trip to observe the done
+			// signal and exit cleanly before the listener goes away.
+			time.Sleep(1200 * time.Millisecond)
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := coord.Shutdown(sctx); err != nil {
+				fmt.Fprintln(os.Stderr, "paperexp: coordinator shutdown:", err)
+			}
+		}()
+	} else if *memoDir != "" {
+		memo, err := expserve.OpenDiskMemo(*memoDir)
+		if err != nil {
+			return err
+		}
+		r.Memo = memo
+	}
 
 	observer, finishObs, err := obs.FromFlags(*traceOut, *metricsOut, *interval)
 	if err != nil {

@@ -12,14 +12,16 @@
 //	tracedump -dump cc.dptr -csv > cc.csv            # export CSV
 //	tracedump -summary cc.dpbf                       # whole-file statistics
 //
-// A .dpbf output selects the struct-of-arrays buffer dump, written in the
-// compressed chunk-indexed v2 layout by default; -v1 keeps the legacy raw
-// v1 layout (deprecated, kept for one release). Any other output extension
-// selects the DPTR record stream.
+// A .dpbf output selects the struct-of-arrays buffer dump, always written
+// in the compressed chunk-indexed v2 layout. Writing the legacy raw v1
+// layout was removed after its one-release deprecation window; -v1 now
+// fails with a pointer at -convert. Any other output extension selects the
+// DPTR record stream.
 //
 // -convert reads a trace in any format (DPTR, DPBF v1, DPBF v2 — by magic)
 // and re-encodes it to -o under the same extension rules, so upgrading a
-// v1 library is `tracedump -convert old.dpbf -o new.dpbf`.
+// v1 library is `tracedump -convert old.dpbf -o new.dpbf`. Reading v1
+// files is permanent; only producing new ones is gone.
 //
 // -summary accepts every format and reports per-PC-stream access counts,
 // the read/write ratio and the unique-VPN footprint over the entire file.
@@ -55,13 +57,21 @@ func run() error {
 		n        = flag.Uint64("n", 1_000_000, "records to record/dump")
 		out      = flag.String("o", "", "output trace file (record/convert mode)")
 		convert  = flag.String("convert", "", "trace file (any format) to re-encode to -o")
-		v1       = flag.Bool("v1", false, "write .dpbf outputs in the legacy uncompressed DPBF v1 layout (deprecated; kept for one release)")
+		v1       = flag.Bool("v1", false, "removed: DPBF v1 can no longer be written (v1 files still read; see -convert)")
 		dump     = flag.String("dump", "", "trace file to inspect")
 		csv      = flag.Bool("csv", false, "dump as CSV instead of a summary")
 		summary  = flag.String("summary", "", "trace file (DPTR or DPBF v1/v2) to summarize whole-file")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 	)
 	flag.Parse()
+
+	if *v1 {
+		// The deprecation window (one release behind -v1) is over: v1 is a
+		// read-only format now. Reading and converting v1 files is
+		// unaffected and stays supported.
+		return fmt.Errorf("-v1 was removed: tracedump no longer writes the legacy DPBF v1 layout; " +
+			"existing v1 files still read everywhere — re-encode one with `tracedump -convert old.dpbf -o new.dpbf`")
+	}
 
 	// SIGINT/SIGTERM cancel a long recording; the partially written file
 	// stays on disk (its header names it) and the command exits nonzero.
@@ -70,9 +80,9 @@ func run() error {
 
 	switch {
 	case *workload != "" && *out != "":
-		return record(ctx, *workload, *out, *n, *seed, *v1)
+		return record(ctx, *workload, *out, *n, *seed)
 	case *convert != "" && *out != "":
-		return reencode(*convert, *out, *v1)
+		return reencode(*convert, *out)
 	case *summary != "":
 		return summarize(*summary)
 	case *dump != "":
@@ -83,7 +93,7 @@ func run() error {
 	}
 }
 
-func record(ctx context.Context, name, path string, n, seed uint64, v1 bool) error {
+func record(ctx context.Context, name, path string, n, seed uint64) error {
 	w, err := trace.ByName(name)
 	if err != nil {
 		return err
@@ -93,18 +103,11 @@ func record(ctx context.Context, name, path string, n, seed uint64, v1 bool) err
 		return err
 	}
 	defer f.Close()
-	switch {
-	case strings.HasSuffix(path, ".dpbf") && !v1:
+	if strings.HasSuffix(path, ".dpbf") {
 		// Compressed chunk-indexed buffer dump, streamed chunk by chunk —
 		// memory stays bounded whatever -n is.
 		err = trace.RecordV2Context(ctx, f, w.New(seed), n)
-	case strings.HasSuffix(path, ".dpbf"):
-		// Legacy raw struct-of-arrays layout; materializes the whole trace.
-		var b *trace.Buffer
-		if b, err = trace.MaterializeContext(ctx, w.New(seed), n); err == nil {
-			_, err = b.WriteTo(f)
-		}
-	default:
+	} else {
 		err = trace.RecordContext(ctx, f, w.New(seed), n)
 	}
 	if err != nil {
@@ -122,10 +125,10 @@ func record(ctx context.Context, name, path string, n, seed uint64, v1 bool) err
 }
 
 // reencode reads a whole trace in any format and rewrites it to outPath:
-// .dpbf selects the DPBF buffer dump (v2 unless -v1), anything else the
-// DPTR record stream. The access sequence is preserved exactly, so a
-// converted trace replays bit-identically to its source.
-func reencode(inPath, outPath string, v1 bool) error {
+// .dpbf selects the DPBF v2 buffer dump, anything else the DPTR record
+// stream. The access sequence is preserved exactly, so a converted trace
+// replays bit-identically to its source.
+func reencode(inPath, outPath string) error {
 	in, err := os.Open(inPath)
 	if err != nil {
 		return err
@@ -140,12 +143,9 @@ func reencode(inPath, outPath string, v1 bool) error {
 		return err
 	}
 	defer f.Close()
-	switch {
-	case strings.HasSuffix(outPath, ".dpbf") && !v1:
+	if strings.HasSuffix(outPath, ".dpbf") {
 		_, err = b.WriteToV2(f)
-	case strings.HasSuffix(outPath, ".dpbf"):
-		_, err = b.WriteTo(f)
-	default:
+	} else {
 		err = trace.Record(f, b.Reader(), b.Len())
 	}
 	if err != nil {

@@ -8,6 +8,33 @@ import (
 	"repro/internal/sim"
 )
 
+// thresholdSetup is dpPred with a custom prediction threshold (Ablation A).
+func thresholdSetup(th uint8) Setup {
+	return Setup{
+		Name: fmt.Sprintf("dpPred-th%d", th),
+		TLB: func(s *sim.System) (pred.TLBPredictor, error) {
+			cfg := core.DefaultDPPredConfig(s.LLT().Entries())
+			cfg.Threshold = th
+			return core.NewDPPred(cfg)
+		},
+	}
+}
+
+// counterBitsSetup is dpPred with a custom pHIST counter width, threshold
+// scaled to the top quarter of the counter's range (Ablation B).
+func counterBitsSetup(bits uint) Setup {
+	return Setup{
+		Name: fmt.Sprintf("dpPred-ctr%d", bits),
+		TLB: func(s *sim.System) (pred.TLBPredictor, error) {
+			cfg := core.DefaultDPPredConfig(s.LLT().Entries())
+			cfg.CounterBits = bits
+			max := uint8(1<<bits - 1)
+			cfg.Threshold = max - max/4 - 1
+			return core.NewDPPred(cfg)
+		},
+	}
+}
+
 // AblationThreshold sweeps dpPred's prediction threshold. The paper fixes
 // it at 6 (of a 3-bit counter's 0–7 range) and notes for canneal/Triangle
 // that "the statically set threshold … turns out to be too conservative";
@@ -19,15 +46,7 @@ func AblationThreshold(r *Runner) (Series, error) {
 	setups := make([]Setup, len(thresholds))
 	cols := make([]string, len(thresholds))
 	for i, th := range thresholds {
-		th := th
-		setups[i] = Setup{
-			Name: fmt.Sprintf("dpPred-th%d", th),
-			TLB: func(s *sim.System) (pred.TLBPredictor, error) {
-				cfg := core.DefaultDPPredConfig(s.LLT().Entries())
-				cfg.Threshold = th
-				return core.NewDPPred(cfg)
-			},
-		}
+		setups[i] = thresholdSetup(th)
 		cols[i] = fmt.Sprintf("threshold %d", th)
 	}
 	s, err := r.ipcSeries("Ablation A",
@@ -49,17 +68,7 @@ func AblationCounterBits(r *Runner) (Series, error) {
 	setups := make([]Setup, len(widths))
 	cols := make([]string, len(widths))
 	for i, bits := range widths {
-		bits := bits
-		setups[i] = Setup{
-			Name: fmt.Sprintf("dpPred-ctr%d", bits),
-			TLB: func(s *sim.System) (pred.TLBPredictor, error) {
-				cfg := core.DefaultDPPredConfig(s.LLT().Entries())
-				cfg.CounterBits = bits
-				max := uint8(1<<bits - 1)
-				cfg.Threshold = max - max/4 - 1
-				return core.NewDPPred(cfg)
-			},
-		}
+		setups[i] = counterBitsSetup(bits)
 		cols[i] = fmt.Sprintf("%d-bit", bits)
 	}
 	s, err := r.ipcSeries("Ablation B",

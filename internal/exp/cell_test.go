@@ -1,0 +1,277 @@
+package exp
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+var cellTestParams = Params{Warmup: 4_000, Measure: 12_000, Seed: 1, SampleEvery: 4_000}
+
+// TestCellKeyIdentity: equal cells key equal, and every dimension of a
+// cell — workload stream, setup name, instrumentation, each parameter —
+// perturbs the key.
+func TestCellKeyIdentity(t *testing.T) {
+	w := testWorkload(t, "cc")
+	p := cellTestParams
+	fp, err := WorkloadFingerprint(w, p.Seed, p.Warmup+p.Measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := WorkloadFingerprint(w, p.Seed, p.Warmup+p.Measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != fp2 {
+		t.Fatalf("fingerprint not deterministic: %s vs %s", fp, fp2)
+	}
+	otherFP, err := WorkloadFingerprint(testWorkload(t, "mcf"), p.Seed, p.Warmup+p.Measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherFP == fp {
+		t.Fatal("distinct workloads share a fingerprint")
+	}
+	seedFP, err := WorkloadFingerprint(w, p.Seed+1, p.Warmup+p.Measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seedFP == fp {
+		t.Fatal("distinct seeds share a fingerprint")
+	}
+
+	base := CellKey(fp, Baseline(), p)
+	if got := CellKey(fp, Baseline(), p); got != base {
+		t.Fatal("CellKey not deterministic")
+	}
+	if len(base) != 64 {
+		t.Fatalf("CellKey length = %d, want 64 hex chars", len(base))
+	}
+	distinct := map[string]string{"base": base}
+	record := func(label, key string) {
+		for prev, k := range distinct {
+			if k == key {
+				t.Fatalf("cell key collision between %s and %s", prev, label)
+			}
+		}
+		distinct[label] = key
+	}
+	record("setup", CellKey(fp, DPPredSetup(), p))
+	record("accuracy", CellKey(fp, withAccuracy(Baseline()), p))
+	record("oracle", CellKey(fp, OracleSetup(), p))
+	record("fingerprint", CellKey(otherFP, Baseline(), p))
+	pp := p
+	pp.Warmup++
+	record("warmup", CellKey(fp, Baseline(), pp))
+	pp = p
+	pp.Measure++
+	record("measure", CellKey(fp, Baseline(), pp))
+	pp = p
+	pp.Seed++
+	record("seed", CellKey(fp, Baseline(), pp))
+	pp = p
+	pp.SampleEvery++
+	record("sample-every", CellKey(fp, Baseline(), pp))
+}
+
+// TestCatalogResolvesEveryStandardSetup: every name the experiment suite
+// can put in a grid resolves, the resolved setup carries the same identity
+// flags, and the "+acc" convention matches withAccuracy.
+func TestCatalogResolvesEveryStandardSetup(t *testing.T) {
+	names := CatalogNames()
+	if len(names) < 30 {
+		t.Fatalf("catalog suspiciously small: %d setups", len(names))
+	}
+	for _, name := range names {
+		su, ok := ResolveSetup(name)
+		if !ok {
+			t.Fatalf("CatalogNames lists %q but ResolveSetup declines it", name)
+		}
+		if su.Name != name {
+			t.Fatalf("ResolveSetup(%q) returned setup named %q", name, su.Name)
+		}
+		acc, ok := ResolveSetup(name + "+acc")
+		if !ok {
+			t.Fatalf("accuracy variant %q+acc does not resolve", name)
+		}
+		if acc.Name != name+"+acc" || !acc.Instrument.Accuracy {
+			t.Fatalf("accuracy variant of %q malformed: name=%q accuracy=%v", name, acc.Name, acc.Instrument.Accuracy)
+		}
+	}
+	// The specific names the figures and tables use must all be present.
+	for _, name := range []string{
+		"baseline", "characterize", "dpPred", "dpPred+cbPred", "AIP-TLB", "SHiP-TLB",
+		"AIP-LLC", "SHiP-LLC", "AIP-TLB+LLC", "SHiP-TLB+LLC", "iso-storage", "oracle",
+		"dpPred-SH", "dpPred+cbPred-PF", "base-llt512", "dpPred-llt1536",
+		"dpPred-6pc5vpn", "dpPred-10pc", "dpPred-sh4", "dpPred+cbPred-pfq64",
+		"base-llc2048", "dpPred+cbPred-llc3072", "srrip-llt", "srrip-cbPred",
+		"distance-prefetch", "dpPred+prefetch", "DIP-LLT", "DIP+dpPred",
+		"dpPred-th2", "dpPred-ctr4",
+	} {
+		if _, ok := ResolveSetup(name); !ok {
+			t.Errorf("standard setup %q missing from the catalog", name)
+		}
+	}
+	if _, ok := ResolveSetup("no-such-setup"); ok {
+		t.Fatal("ResolveSetup accepted an unknown name")
+	}
+}
+
+// TestResolvedSetupMatchesOriginal: a catalog-resolved setup simulates the
+// same bytes as the experiment suite's own construction — the property the
+// whole distributed plane rests on.
+func TestResolvedSetupMatchesOriginal(t *testing.T) {
+	w := testWorkload(t, "cc")
+	for _, su := range []Setup{DPPredSetup(), dpPredNoShadowSetup(), thresholdSetup(2)} {
+		local := NewRunner(cellTestParams)
+		want, err := local.Run(w, su)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resolved, ok := ResolveSetup(su.Name)
+		if !ok {
+			t.Fatalf("setup %q not resolvable", su.Name)
+		}
+		remote := NewRunner(cellTestParams)
+		got, err := remote.Run(w, resolved)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("catalog-resolved %q diverges from the original construction", su.Name)
+		}
+	}
+}
+
+// memMemo is an in-memory CellMemo for runner-integration tests. Like any
+// CellMemo it must tolerate concurrent grid cells.
+type memMemo struct {
+	mu      sync.Mutex
+	entries map[string]sim.Result
+	puts    int
+}
+
+func (m *memMemo) Get(key string) (sim.Result, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	res, ok := m.entries[key]
+	return res, ok, nil
+}
+
+func (m *memMemo) Put(key string, _ CellMeta, res sim.Result) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.entries == nil {
+		m.entries = map[string]sim.Result{}
+	}
+	m.entries[key] = res
+	m.puts++
+	return nil
+}
+
+func (m *memMemo) putCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.puts
+}
+
+// TestRunnerPersistentMemo: a runner with a Memo publishes every computed
+// cell and a fresh runner over the same memo replays them all without
+// simulating — the crash-resume delta contract in miniature.
+func TestRunnerPersistentMemo(t *testing.T) {
+	workloads := []trace.Workload{testWorkload(t, "cc"), testWorkload(t, "mcf")}
+	setups := []Setup{Baseline(), DPPredSetup()}
+
+	memo := &memMemo{}
+	r1 := NewRunner(cellTestParams)
+	r1.Memo = memo
+	if err := r1.RunGrid(workloads, setups); err != nil {
+		t.Fatal(err)
+	}
+	if memo.putCount() != len(workloads)*len(setups) {
+		t.Fatalf("memo received %d puts, want %d", memo.putCount(), len(workloads)*len(setups))
+	}
+
+	ref := NewRunner(cellTestParams)
+	if err := ref.RunGrid(workloads, setups); err != nil {
+		t.Fatal(err)
+	}
+
+	var computed atomic.Int64
+	r2 := NewRunner(cellTestParams)
+	r2.Memo = memo
+	r2.ProgressStart = func(_, _ string) { computed.Add(1) }
+	if err := r2.RunGrid(workloads, setups); err != nil {
+		t.Fatal(err)
+	}
+	if n := computed.Load(); n != 0 {
+		t.Fatalf("second run simulated %d cells despite a full memo", n)
+	}
+	for _, w := range workloads {
+		for _, su := range setups {
+			want, err := ref.Run(w, su)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := r2.Run(w, su)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("memo-served %s/%s diverges from a fresh simulation", w.Name, su.Name)
+			}
+		}
+	}
+}
+
+// TestExecutorFallback: cells the executor declines run locally, handled
+// cells never touch the local simulation path, and executor errors surface
+// with the standard cell prefix.
+func TestExecutorFallback(t *testing.T) {
+	w := testWorkload(t, "cc")
+	ref := NewRunner(cellTestParams)
+	want, err := ref.Run(w, Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var handledKeys, declined atomic.Int64
+	r := NewRunner(cellTestParams)
+	r.Executor = func(ctx context.Context, key string, w trace.Workload, setup Setup) (sim.Result, bool, error) {
+		if setup.Name != "baseline" {
+			declined.Add(1)
+			return sim.Result{}, false, nil
+		}
+		handledKeys.Add(1)
+		return want, true, nil
+	}
+	got, err := r.Run(w, Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || handledKeys.Load() != 1 {
+		t.Fatal("executor-handled cell did not serve the executor's result")
+	}
+
+	adhoc := Setup{Name: "adhoc-local"}
+	if _, err := r.Run(w, adhoc); err != nil {
+		t.Fatalf("declined cell failed to fall back to local execution: %v", err)
+	}
+	if declined.Load() != 1 {
+		t.Fatalf("executor consulted %d times for the ad-hoc cell", declined.Load())
+	}
+
+	r2 := NewRunner(cellTestParams)
+	r2.Executor = func(context.Context, string, trace.Workload, Setup) (sim.Result, bool, error) {
+		return sim.Result{}, true, context.DeadlineExceeded
+	}
+	_, err = r2.Run(w, Baseline())
+	if err == nil || !strings.Contains(err.Error(), "cc under baseline") {
+		t.Fatalf("executor error lost the cell prefix: %v", err)
+	}
+}

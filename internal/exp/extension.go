@@ -10,6 +10,33 @@ import (
 // structure dueling state, so each configured cache needs its own value.
 func newDIPPolicy() policy.Policy { return policy.NewDIP() }
 
+// newDistancePrefetcher constructs the classic distance-based TLB
+// prefetcher the extension experiments compare against.
+func newDistancePrefetcher(s *sim.System) (pred.TLBPrefetcher, error) {
+	return pred.NewDistancePrefetcher(pred.DefaultDistancePrefetcherConfig())
+}
+
+// distancePrefetchSetup is the prefetcher alone on the Table I machine.
+func distancePrefetchSetup() Setup {
+	return Setup{Name: "distance-prefetch", Prefetch: newDistancePrefetcher}
+}
+
+// dpPredPrefetchSetup combines dpPred bypassing with distance prefetching.
+func dpPredPrefetchSetup() Setup {
+	return Setup{Name: "dpPred+prefetch", TLB: newDPPred, Prefetch: newDistancePrefetcher}
+}
+
+// dipConfig is the Table I machine with a DIP-managed LLT.
+func dipConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.LLT.Policy = newDIPPolicy()
+	return cfg
+}
+
+// dipLLTSetup and dipDPPredSetup are the Extension B configurations.
+func dipLLTSetup() Setup    { return Setup{Name: "DIP-LLT", Config: dipConfig} }
+func dipDPPredSetup() Setup { return Setup{Name: "DIP+dpPred", Config: dipConfig, TLB: newDPPred} }
+
 // ExtensionPrefetch compares the bypass approach (dpPred) with classic
 // distance-based TLB prefetching (Kandiraju & Sivasubramaniam, discussed
 // in §VII) and with their combination. The paper argues bypassing is
@@ -19,23 +46,10 @@ func newDIPPolicy() policy.Policy { return policy.NewDIP() }
 // the combination should dominate either alone on stride-heavy workloads
 // and fall back to dpPred's behaviour on irregular ones.
 func ExtensionPrefetch(r *Runner) (Series, error) {
-	prefetchSetup := Setup{
-		Name: "distance-prefetch",
-		Prefetch: func(s *sim.System) (pred.TLBPrefetcher, error) {
-			return pred.NewDistancePrefetcher(pred.DefaultDistancePrefetcherConfig())
-		},
-	}
-	combinedSetup := Setup{
-		Name: "dpPred+prefetch",
-		TLB:  newDPPred,
-		Prefetch: func(s *sim.System) (pred.TLBPrefetcher, error) {
-			return pred.NewDistancePrefetcher(pred.DefaultDistancePrefetcherConfig())
-		},
-	}
 	s, err := r.ipcSeries("Extension A",
 		"dpPred vs distance-based TLB prefetching (related work, §VII)",
 		Baseline(),
-		[]Setup{DPPredSetup(), prefetchSetup, combinedSetup})
+		[]Setup{DPPredSetup(), distancePrefetchSetup(), dpPredPrefetchSetup()})
 	if err != nil {
 		return Series{}, err
 	}
@@ -49,19 +63,10 @@ func ExtensionPrefetch(r *Runner) (Series, error) {
 // pollution without knowing which entries are dead; dpPred adds the
 // dead-entry knowledge.
 func ExtensionDIP(r *Runner) (Series, error) {
-	dipConfig := func() sim.Config {
-		cfg := sim.DefaultConfig()
-		cfg.LLT.Policy = newDIPPolicy()
-		return cfg
-	}
 	s, err := r.ipcSeries("Extension B",
 		"dpPred vs a DIP-managed LLT",
 		Baseline(),
-		[]Setup{
-			DPPredSetup(),
-			{Name: "DIP-LLT", Config: dipConfig},
-			{Name: "DIP+dpPred", Config: dipConfig, TLB: newDPPred},
-		})
+		[]Setup{DPPredSetup(), dipLLTSetup(), dipDPPredSetup()})
 	if err != nil {
 		return Series{}, err
 	}

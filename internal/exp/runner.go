@@ -135,6 +135,26 @@ type Runner struct {
 	warmMu   sync.Mutex
 	warmMemo map[string]*warmEntry
 
+	// fpMu guards fpMemo: one content fingerprint per workload name,
+	// computed lazily the first time a cell is keyed (CellKey hashes the
+	// stream prefix, so caching it keeps keying O(1) per cell).
+	fpMu   sync.Mutex
+	fpMemo map[string]string
+
+	// Memo, when set, layers a persistent result store under the
+	// in-process memo: leaders consult it before simulating and publish
+	// successful results into it, so a re-run with the same memo computes
+	// only the delta. Lookups key by CellKey — content-addressed, so a
+	// memo written under different parameters or seeds never matches.
+	// Corrupt or unreadable entries read as misses and are recomputed.
+	// The memo is best-effort: a failing Put never fails the cell.
+	Memo CellMemo
+	// Executor, when set, offloads cells to an external scheduler
+	// (expserve's coordinator) instead of simulating locally. Cells the
+	// executor declines — setups outside the standard catalog — fall back
+	// to the local path, so grids with ad-hoc setups still complete.
+	Executor CellExecutor
+
 	// ProgressStart, when set, is called as each uncached simulation
 	// begins; memoized replays report nothing. With jobs > 1 the progress
 	// callbacks run concurrently from pool workers.
@@ -300,10 +320,36 @@ func (r *Runner) RunContext(ctx context.Context, w trace.Workload, setup Setup) 
 	return res, err
 }
 
-// lead executes one uncached cell as the memo leader: acquire a pool slot
+// lead executes one uncached cell as the memo leader. With a persistent
+// memo or an external executor configured it first tries those — a memo
+// hit returns without touching the worker pool, a handled executor cell
+// runs remotely (progress is still reported so -v and the status board see
+// it) — and otherwise it takes the local path: acquire a pool slot
 // (abandoning the wait if ctx is canceled first), report progress, run the
-// cell with panic containment, and report completion with the outcome.
+// cell with panic containment, report completion, and publish the result
+// into the persistent memo.
 func (r *Runner) lead(ctx context.Context, w trace.Workload, setup Setup) (sim.Result, error) {
+	var key string
+	if r.Memo != nil || r.Executor != nil {
+		// A keying failure (the workload's generator errors while being
+		// fingerprinted) is not fatal here: the local path below replays
+		// the same generator and reports the error as the cell's outcome.
+		key, _ = r.cellKey(w, setup)
+	}
+	if key != "" && r.Memo != nil {
+		if res, ok, err := r.Memo.Get(key); err == nil && ok {
+			if r.Status != nil {
+				r.Status.MemoHit(w.Name, setup.Name)
+			}
+			return res, nil
+		}
+	}
+	if key != "" && r.Executor != nil {
+		if res, handled, err := r.execRemote(ctx, key, w, setup); handled {
+			return res, err
+		}
+	}
+
 	select {
 	case r.sem <- struct{}{}: // acquire a pool slot
 	case <-ctx.Done():
@@ -327,7 +373,42 @@ func (r *Runner) lead(ctx context.Context, w trace.Workload, setup Setup) (sim.R
 		r.Status.CellDone(w.Name, setup.Name, time.Since(start), err)
 	}
 	<-r.sem // release the slot before waking waiters
+	if err == nil && key != "" && r.Memo != nil {
+		// Best-effort: the result is correct whether or not it persists,
+		// and a full disk must not fail a finished simulation.
+		_ = r.Memo.Put(key, CellMeta{Workload: w.Name, Setup: setup.Name, Params: r.params}, res)
+	}
 	return res, err
+}
+
+// execRemote runs one cell through the external executor, bracketed by the
+// same progress and status reporting as a local run so live displays see
+// remote cells. handled=false (an unresolvable setup) reports nothing and
+// sends the caller to the local path.
+func (r *Runner) execRemote(ctx context.Context, key string, w trace.Workload, setup Setup) (sim.Result, bool, error) {
+	if r.ProgressStart != nil {
+		r.ProgressStart(w.Name, setup.Name)
+	}
+	if r.Status != nil {
+		r.Status.CellStart(w.Name, setup.Name)
+	}
+	start := time.Now()
+	res, handled, err := r.Executor(ctx, key, w, setup)
+	if !handled {
+		// Undo nothing: the local path re-reports start, which the board
+		// treats as a restart of the same cell.
+		return sim.Result{}, false, nil
+	}
+	if err != nil {
+		err = fmt.Errorf("exp: %s under %s: %w", w.Name, setup.Name, err)
+	}
+	if r.ProgressDone != nil {
+		r.ProgressDone(w.Name, setup.Name, time.Since(start), err)
+	}
+	if r.Status != nil {
+		r.Status.CellDone(w.Name, setup.Name, time.Since(start), err)
+	}
+	return res, true, err
 }
 
 // runCell wraps runUncached with panic containment: a panicking Setup
